@@ -1,0 +1,92 @@
+"""Ablation — sensitivity of scaling projections to the machine model.
+
+Section 3.1 characterizes communication by latency tau and per-word time mu
+with log(p) tree collectives.  This ablation sweeps both parameters around
+the HDR100-like defaults and reports where the strong-scaling knee moves —
+validating that the reproduced Figure 5/6 shapes are a property of the
+algorithm's work distribution, not of one lucky constant choice.
+"""
+
+from __future__ import annotations
+
+from repro.bench import render_table, save_results
+from repro.parallel.costmodel import MachineModel
+from repro.parallel.trace import project_time
+
+PROCESSOR_COUNTS = (4, 16, 64, 256, 1024, 4096)
+
+MODELS = {
+    "hdr100 (default)": MachineModel(),
+    "10x latency": MachineModel(tau=2.0e-5, mu=6.4e-10),
+    "100x latency": MachineModel(tau=2.0e-4, mu=6.4e-10),
+    "10x bandwidth cost": MachineModel(tau=2.0e-6, mu=6.4e-9),
+    "zero comm (ideal)": MachineModel(tau=0.0, mu=0.0),
+}
+
+
+def _knee(speedups: dict[int, float], threshold: float = 0.5) -> int:
+    """Largest p whose parallel efficiency still exceeds ``threshold``."""
+    knee = min(speedups)
+    for p, s in sorted(speedups.items()):
+        if s / p >= threshold:
+            knee = p
+    return knee
+
+
+def test_ablation_comm_model(benchmark, yeast_complete_trace, capsys):
+    trace, meta = yeast_complete_trace
+    t1 = sum(meta["task_times"].values())
+
+    rows = []
+    knees = {}
+    speedups_by_model = {}
+    for name, model in MODELS.items():
+        speedups = {
+            p: t1 / project_time(trace, p, model=model).total
+            for p in PROCESSOR_COUNTS
+        }
+        speedups_by_model[name] = speedups
+        knees[name] = _knee(speedups)
+        rows.append(
+            [name] + [f"{speedups[p]:.1f}" for p in PROCESSOR_COUNTS] + [knees[name]]
+        )
+    table = render_table(
+        "Ablation — machine-model sensitivity: speedup by p",
+        ["model"] + [f"p={p}" for p in PROCESSOR_COUNTS] + ["knee (>=50% eff)"],
+        rows,
+    )
+    with capsys.disabled():
+        print("\n" + table)
+
+    # Ordering: worse networks can never scale better.
+    for p in PROCESSOR_COUNTS:
+        assert (
+            speedups_by_model["zero comm (ideal)"][p]
+            >= speedups_by_model["hdr100 (default)"][p] - 1e-9
+        )
+        assert (
+            speedups_by_model["hdr100 (default)"][p]
+            >= speedups_by_model["100x latency"][p] - 1e-9
+        )
+    # The knee retreats as latency grows.
+    assert knees["100x latency"] <= knees["hdr100 (default)"]
+    # Even the ideal network tapers eventually — the residual is the
+    # load imbalance + sequential consensus, i.e. the algorithmic limit.
+    ideal = speedups_by_model["zero comm (ideal)"]
+    assert ideal[4096] < 4096 * 0.9
+
+    save_results(
+        "ablation_commmodel",
+        {
+            "speedups": {
+                name: {str(p): s for p, s in sp.items()}
+                for name, sp in speedups_by_model.items()
+            },
+            "knees": knees,
+        },
+    )
+    benchmark.pedantic(
+        lambda: project_time(trace, 1024, model=MODELS["10x latency"]),
+        rounds=3,
+        iterations=1,
+    )

@@ -1,0 +1,55 @@
+"""Figure 3 — sequential run-time growth with m at fixed n.
+
+Paper: for each n, run-time grows close to quadratically in the number of
+observations m (the dashed m^2 guide line), matching the O(...m^2) term of
+Equation 1.  Here the optimized learner is measured over the scaled grid
+and the growth ratios and fitted exponents are reported per n.
+"""
+
+from __future__ import annotations
+
+from conftest import GRID_M, GRID_N
+from repro.bench import PAPER, render_figure_series, save_results
+from repro.bench.runtime_model import fit_growth_exponent, growth_ratios
+
+
+def test_fig3_growth_with_observations(benchmark, grid_times, capsys):
+    m0 = GRID_M[0]
+    series = {}
+    exponents = {}
+    for n in GRID_N:
+        times = {m: grid_times[(n, m)] for m in GRID_M}
+        ratios = growth_ratios(list(times), list(times.values()))
+        series[f"n={n}"] = dict(zip(sorted(times), ratios))
+        exponents[n] = fit_growth_exponent(list(times), list(times.values()))
+    series["m^2 (guide)"] = {m: (m / m0) ** 2 for m in GRID_M}
+
+    figure = render_figure_series(
+        "Figure 3 — run-time growth vs m (ratio to smallest m)",
+        "m",
+        series,
+    )
+    with capsys.disabled():
+        print("\n" + figure)
+        for n, exp in exponents.items():
+            print(f"fitted m-exponent at n={n}: {exp:.2f} (paper: ~2.0)")
+
+    # Shape assertion: superlinear growth in m around the paper's quadratic
+    # law (Theta(m^2)).
+    for n, exp in exponents.items():
+        assert 1.4 < exp < 2.6, f"m-growth exponent {exp:.2f} at n={n} off-shape"
+
+    save_results(
+        "fig3",
+        {
+            "series": {k: {str(m): v for m, v in s.items()} for k, s in series.items()},
+            "fitted_m_exponents": {str(n): e for n, e in exponents.items()},
+            "paper_m_exponent": PAPER["growth"]["m_exponent"],
+        },
+    )
+
+    benchmark.pedantic(
+        lambda: [fit_growth_exponent(GRID_M, [grid_times[(n, m)] for m in GRID_M]) for n in GRID_N],
+        rounds=3,
+        iterations=1,
+    )

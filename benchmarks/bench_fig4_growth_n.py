@@ -1,0 +1,84 @@
+"""Figure 4 — sequential run-time growth with n at fixed m.
+
+Paper: growth with the number of variables n is slower than quadratic but
+bounded below by ~n^1.8 for every m; the super-linearity is attributed to
+the module count K growing with n.  Here the same fit is performed over the
+scaled grid, and K(n) is reported alongside.
+"""
+
+from __future__ import annotations
+
+import json
+
+from conftest import (
+    BENCH_SEED,
+    CACHE_DIR,
+    CONFIG_TAG,
+    GRID_M,
+    GRID_N,
+)
+from repro.bench import PAPER, render_figure_series, save_results
+from repro.bench.runtime_model import fit_growth_exponent, growth_ratios
+
+
+def _module_counts():
+    """K(n) from the cached grid runs (largest m column)."""
+    counts = {}
+    for n in GRID_N:
+        meta_path = CACHE_DIR / f"grid_opt_n{n}_m{max(GRID_M)}_s{BENCH_SEED}_{CONFIG_TAG}.json"
+        if meta_path.exists():
+            counts[n] = json.loads(meta_path.read_text())["n_modules"]
+    return counts
+
+
+def test_fig4_growth_with_variables(benchmark, grid_times, capsys):
+    n0 = GRID_N[0]
+    series = {}
+    exponents = {}
+    for m in GRID_M:
+        times = {n: grid_times[(n, m)] for n in GRID_N}
+        ratios = growth_ratios(list(times), list(times.values()))
+        series[f"m={m}"] = dict(zip(sorted(times), ratios))
+        exponents[m] = fit_growth_exponent(list(times), list(times.values()))
+    series["n^2 (guide)"] = {n: (n / n0) ** 2 for n in GRID_N}
+    series["n^1.8 (guide)"] = {n: (n / n0) ** 1.8 for n in GRID_N}
+
+    module_counts = _module_counts()
+    figure = render_figure_series(
+        "Figure 4 — run-time growth vs n (ratio to smallest n)",
+        "n",
+        series,
+    )
+    with capsys.disabled():
+        print("\n" + figure)
+        for m, exp in exponents.items():
+            print(f"fitted n-exponent at m={m}: {exp:.2f} (paper: in [1.8, 2.0])")
+        print(f"module count K(n) at m={max(GRID_M)}: {module_counts}")
+
+    # Shape: superlinear growth in n, in the neighbourhood of the paper's
+    # [n^1.8, n^2] band (widened: our K(n) schedule differs from yeast's).
+    for m, exp in exponents.items():
+        assert 1.0 < exp < 2.8, f"n-growth exponent {exp:.2f} at m={m} off-shape"
+    # K grows with n — the paper's explanation for the superlinearity.
+    ks = [module_counts[n] for n in GRID_N if n in module_counts]
+    if len(ks) >= 2:
+        assert ks[-1] > ks[0]
+
+    save_results(
+        "fig4",
+        {
+            "series": {k: {str(n): v for n, v in s.items()} for k, s in series.items()},
+            "fitted_n_exponents": {str(m): e for m, e in exponents.items()},
+            "module_counts": {str(n): k for n, k in module_counts.items()},
+            "paper_n_exponent_band": [
+                PAPER["growth"]["n_exponent_low"],
+                PAPER["growth"]["n_exponent_high"],
+            ],
+        },
+    )
+
+    benchmark.pedantic(
+        lambda: [fit_growth_exponent(GRID_N, [grid_times[(n, m)] for n in GRID_N]) for m in GRID_M],
+        rounds=3,
+        iterations=1,
+    )

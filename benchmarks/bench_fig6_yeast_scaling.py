@@ -1,0 +1,138 @@
+"""Figure 6 — scaling on the complete yeast data set.
+
+Paper (complete S. cerevisiae, 5716 x 2577): relative speedup T_4 / T_p up
+to p = 4096; 22.6x from 4 to 128 cores (> 70% relative efficiency), 239.3x
+from 4 to 4096 (23.4% relative efficiency); run-time drops from ~4 days
+(p=4) to 23.5 minutes (p=4096); GaneSH < 0.38% of run-time at small p;
+consensus < 1 s throughout.
+
+Here the complete *yeast-like* matrix (see conftest scale note) is traced
+once sequentially and T_p is projected for p = 4..4096.  A second series
+applies the Section 5.2.2 extrapolation (paper-scale mode): compute scaled
+to the real 5716 x 2577 shape via the measured growth laws, which restores
+the paper's compute-to-communication ratio at large p.
+"""
+
+from __future__ import annotations
+
+from conftest import YEAST_COMPLETE
+from repro.bench import PAPER, render_table, save_results
+from repro.bench.runtime_model import estimate_full_scale_runtime
+from repro.parallel.trace import project_time
+
+PROCESSOR_COUNTS = (4, 8, 16, 32, 64, 128, 256, 512, 1024, 2048, 4096)
+
+
+def _paper_scale_factor():
+    n0, m0 = YEAST_COMPLETE
+    n1, m1 = PAPER["shapes"]["yeast"]
+    return (m1 / m0) ** 2.0 * (n1 / n0) ** 1.8
+
+
+def _consensus_scale_factor():
+    # Consensus clustering is O(G n^2) (Section 2.2.2) — scale it by its
+    # own law, not the dominant tasks'.
+    n0, _m0 = YEAST_COMPLETE
+    n1, _m1 = PAPER["shapes"]["yeast"]
+    return (n1 / n0) ** 2.0
+
+
+def test_fig6_complete_yeast_scaling(benchmark, yeast_complete_trace, capsys):
+    trace, meta = yeast_complete_trace
+    t1 = sum(meta["task_times"].values())
+    scale = _paper_scale_factor()
+
+    native = {p: project_time(trace, p).total for p in PROCESSOR_COUNTS}
+    # Paper-scale extrapolation: compute grows by the fitted laws; the
+    # number of Gibbs iterations (hence collectives) grows ~ linearly with
+    # the matrix edge sizes, approximated by sqrt(scale) per superstep
+    # dimension being conservative: keep comm unscaled (more collectives
+    # would only *raise* large-p times, strengthening the taper).
+    cscale = _consensus_scale_factor()
+    paper_scale = {
+        p: project_time(trace, p, compute_scale=scale, consensus_scale=cscale).total
+        for p in PROCESSOR_COUNTS
+    }
+
+    rows = []
+    for p in PROCESSOR_COUNTS:
+        rows.append(
+            [
+                p,
+                f"{native[p]:.3f}",
+                f"{native[4] / native[p]:.1f}",
+                f"{paper_scale[p] / 3600:.2f}",
+                f"{paper_scale[4] / paper_scale[p]:.1f}",
+                f"{100 * paper_scale[4] / paper_scale[p] / (p / 4):.0f}%",
+            ]
+        )
+    table = render_table(
+        "Figure 6 — complete yeast-like data set: run-time and relative speedup vs p=4",
+        ["p", "native T_p (s)", "native T4/Tp", "paper-scale T_p (h)", "paper T4/Tp", "rel. eff."],
+        rows,
+    )
+    rel128 = paper_scale[4] / paper_scale[128]
+    rel4096 = paper_scale[4] / paper_scale[4096]
+    with capsys.disabled():
+        print("\n" + table)
+        print(
+            f"paper-scale relative speedup 4->128: {rel128:.1f}x "
+            f"(paper: 22.6x, >70% rel. efficiency)"
+        )
+        print(
+            f"paper-scale relative speedup 4->4096: {rel4096:.1f}x "
+            f"(paper: 239.3x, 23.4% rel. efficiency)"
+        )
+        print(
+            f"paper-scale T_4096: {paper_scale[4096] / 60:.1f} min "
+            f"(paper: 23.5 min); T_4: {paper_scale[4] / 86400:.1f} days (paper: ~4 days)"
+        )
+
+    # Shape assertions on the paper-scale series.
+    eff128 = rel128 / (128 / 4)
+    eff4096 = rel4096 / (4096 / 4)
+    assert eff128 > 0.55, f"4->128 relative efficiency {eff128:.0%} too low"
+    assert 0.08 < eff4096 < 0.8, f"4->4096 relative efficiency {eff4096:.0%} off-shape"
+    assert rel4096 > rel128 > 1.0
+    # Consensus stays sequential and negligible.
+    pt = project_time(trace, 4096, compute_scale=scale, consensus_scale=cscale)
+    assert pt.consensus / pt.total < 0.2
+
+    save_results(
+        "fig6",
+        {
+            "native_seconds": {str(p): t for p, t in native.items()},
+            "paper_scale_hours": {str(p): t / 3600 for p, t in paper_scale.items()},
+            "rel_speedup_4_128": rel128,
+            "rel_speedup_4_4096": rel4096,
+            "paper": PAPER["fig6"],
+            "scale_factor": scale,
+        },
+    )
+    benchmark.pedantic(
+        lambda: [project_time(trace, p) for p in PROCESSOR_COUNTS],
+        rounds=3,
+        iterations=1,
+    )
+
+
+def test_fig6_sequential_estimate_anchor(benchmark, yeast_complete_trace, capsys):
+    """The paper-scale T_1 must match the Section 5.2.2 estimate computed
+    from the measured run — internal consistency of the two methodologies."""
+    trace, meta = yeast_complete_trace
+    t1 = sum(meta["task_times"].values())
+    estimate = estimate_full_scale_runtime(
+        t1, YEAST_COMPLETE, PAPER["shapes"]["yeast"], m_exponent=2.0, n_exponent=1.8
+    )
+    projected = project_time(
+        trace, 1, compute_scale=_paper_scale_factor(),
+        consensus_scale=_paper_scale_factor(),
+    ).total
+    with capsys.disabled():
+        print(
+            f"\npaper-scale T_1: projection {projected / 86400:.1f} days vs "
+            f"growth-law estimate {estimate.estimated_days:.1f} days "
+            f"(paper's own estimate for the real data set: 13.5 days)"
+        )
+    assert abs(projected - estimate.estimated_seconds) / estimate.estimated_seconds < 0.05
+    benchmark.pedantic(lambda: estimate.estimated_seconds, rounds=5, iterations=1)

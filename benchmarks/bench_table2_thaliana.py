@@ -1,0 +1,126 @@
+"""Table 2 — parallel run-times for the complete A. thaliana data set.
+
+Paper (18373 x 5102, p = 256..4096): run-time falls from ~2 days at p=256
+to ~4.2 hours at p=4096; relative speedup vs 256 cores reaches 11.2x (69.9%
+relative efficiency) — and the relative efficiency at 4096 is *higher* than
+the yeast data set's (~47% vs 256 cores), because the larger problem keeps
+ranks busy longer.
+
+Here the complete *thaliana-like* matrix is traced once and projected at
+paper scale for the same processor sweep; the cross-data-set efficiency
+comparison against the yeast run is asserted as the headline shape.
+"""
+
+from __future__ import annotations
+
+from conftest import THALIANA_COMPLETE, YEAST_COMPLETE
+from repro.bench import PAPER, render_table, save_results
+from repro.bench.runtime_model import estimate_full_scale_runtime
+from repro.parallel.trace import project_time
+
+PROCESSOR_COUNTS = (256, 512, 1024, 2048, 4096)
+
+
+def _scale(shape_ours, paper_key):
+    n1, m1 = PAPER["shapes"][paper_key]
+    n0, m0 = shape_ours
+    return (m1 / m0) ** 2.0 * (n1 / n0) ** 1.8
+
+
+def _cscale(shape_ours, paper_key):
+    n1, _m1 = PAPER["shapes"][paper_key]
+    n0, _m0 = shape_ours
+    return (n1 / n0) ** 2.0
+
+
+def test_table2_thaliana_scaling(benchmark, thaliana_trace, yeast_complete_trace, capsys):
+    trace, meta = thaliana_trace
+    scale = _scale(THALIANA_COMPLETE, "thaliana")
+    cscale = _cscale(THALIANA_COMPLETE, "thaliana")
+    times = {
+        p: project_time(trace, p, compute_scale=scale, consensus_scale=cscale).total
+        for p in PROCESSOR_COUNTS
+    }
+
+    rows = []
+    for p in PROCESSOR_COUNTS:
+        speedup = times[256] / times[p]
+        efficiency = 100 * speedup / (p / 256)
+        paper_time, paper_speedup, paper_eff = PAPER["table2"][p]
+        rows.append(
+            [p, f"{times[p] / 3600:.2f}", f"{speedup:.1f}", f"{efficiency:.1f}%",
+             f"{paper_time / 3600:.1f}", f"{paper_speedup:.1f}", f"{paper_eff:.1f}%"]
+        )
+    table = render_table(
+        "Table 2 — complete thaliana-like data set (paper-scale projection)",
+        ["p", "T_p (h)", "speedup vs 256", "efficiency",
+         "paper T_p (h)", "paper speedup", "paper eff."],
+        rows,
+    )
+
+    # Cross-data-set comparison the paper highlights: thaliana's relative
+    # efficiency at 4096 (vs 256) exceeds yeast's.
+    ytrace, ymeta = yeast_complete_trace
+    yscale = _scale(YEAST_COMPLETE, "yeast")
+    yeast_times = {
+        p: project_time(
+            ytrace, p, compute_scale=yscale,
+            consensus_scale=_cscale(YEAST_COMPLETE, "yeast"),
+        ).total
+        for p in (256, 4096)
+    }
+    yeast_eff = (yeast_times[256] / yeast_times[4096]) / 16
+    thaliana_eff = (times[256] / times[4096]) / 16
+
+    with capsys.disabled():
+        print("\n" + table)
+        print(
+            f"relative efficiency 256->4096: thaliana {thaliana_eff:.0%} vs "
+            f"yeast {yeast_eff:.0%} (paper: 69.9% vs ~47%)"
+        )
+
+    # Shape assertions.
+    speedup_4096 = times[256] / times[4096]
+    assert speedup_4096 > 4.0, "thaliana must keep scaling past 2048 ranks"
+    assert times[4096] < times[256]
+    assert thaliana_eff > yeast_eff, (
+        "the larger problem must scale more efficiently (paper's Table 2 note)"
+    )
+    # Monotone decrease of run-time over the sweep.
+    ordered = [times[p] for p in PROCESSOR_COUNTS]
+    assert all(a > b for a, b in zip(ordered, ordered[1:]))
+
+    save_results(
+        "table2",
+        {
+            "hours": {str(p): times[p] / 3600 for p in PROCESSOR_COUNTS},
+            "speedup_vs_256": {str(p): times[256] / times[p] for p in PROCESSOR_COUNTS},
+            "thaliana_rel_eff_4096": thaliana_eff,
+            "yeast_rel_eff_4096": yeast_eff,
+            "paper": {str(p): v for p, v in PAPER["table2"].items()},
+            "scale_factor": scale,
+        },
+    )
+    benchmark.pedantic(
+        lambda: [project_time(trace, p, compute_scale=scale) for p in PROCESSOR_COUNTS],
+        rounds=3,
+        iterations=1,
+    )
+
+
+def test_table2_sequential_estimate(benchmark, thaliana_trace, capsys):
+    """The thaliana sequential estimate mirrors Section 5.2.2's '433.6
+    days / more than 14 months' headline for the real data set."""
+    trace, meta = thaliana_trace
+    t1 = sum(meta["task_times"].values())
+    estimate = estimate_full_scale_runtime(
+        t1, THALIANA_COMPLETE, PAPER["shapes"]["thaliana"]
+    )
+    with capsys.disabled():
+        print(
+            f"\nthaliana-like measured T_1 = {t1:.1f} s; paper-scale estimate "
+            f"{estimate.estimated_days:.0f} days "
+            f"(paper's estimate for the real data: 433.6 days)"
+        )
+    assert estimate.estimated_days > 1.0  # sequentially infeasible, as in the paper
+    benchmark.pedantic(lambda: estimate.estimated_days, rounds=5, iterations=1)

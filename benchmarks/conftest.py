@@ -1,0 +1,158 @@
+"""Shared fixtures for the benchmark harness.
+
+Scale note (see DESIGN.md): the paper's data sets are infeasible here, so
+every experiment runs on synthetic matrices whose shapes are scaled-down
+versions of the paper's, with the scale factor documented per fixture.
+Expensive sequential measurements are cached on disk under
+``benchmarks/.cache`` so re-running the suite reuses them; delete the
+directory to force fresh measurements.
+"""
+
+from __future__ import annotations
+
+import json
+import time
+from pathlib import Path
+
+import pytest
+
+from repro.core.config import LearnerConfig
+from repro.core.learner import LemonTreeLearner
+from repro.data.synthetic import make_module_dataset
+from repro.parallel.trace import WorkTrace, load_trace, save_trace
+
+CACHE_DIR = Path(__file__).resolve().parent / ".cache"
+
+#: Table 1 / Figures 3-4 grid.  Paper: n in {1000..5716} x m in {125..1000}
+#: subsampled from the complete yeast matrix (5716 x 2577).  Ours: the same
+#: 1:2:3:4 / 1:2:4:6:8 ratios at ~1/25 (n) and ~1/10 (m) scale, subsampled
+#: as prefixes of one base matrix, exactly the paper's methodology.
+GRID_N = (60, 90, 120, 150)
+GRID_M = (20, 40, 60, 80, 100)
+TABLE1_N = (60, 90, 120)
+
+#: "Complete yeast-like" matrix for Figures 5-6: n = 180 (~5716/32),
+#: m = 192 (~2577/13).
+YEAST_COMPLETE = (180, 192)
+#: Figure 5 observation sweep (paper: m in {125..1000} of the complete set).
+FIG5_M = (12, 25, 50, 75, 100)
+#: "Complete thaliana-like" matrix for Table 2: n = 288 (~18373/64),
+#: m = 160 (~5102/32) — larger n, comparable m, like the paper's ratio.
+THALIANA_COMPLETE = (288, 160)
+
+BENCH_SEED = 31
+#: cache key tag for the benchmark configuration below
+CONFIG_TAG = "S25r2K16"
+
+
+def bench_config() -> LearnerConfig:
+    """The paper's minimum-run-time configuration (Section 5.1).
+
+    ``max_sampling_steps`` is raised (with earlier stochastic stopping) so
+    the per-split sampling-step distribution has the heavy tail the paper's
+    discrete sampling exhibits — the driver of the Section 5.3.1 load
+    imbalance.
+    """
+    return LearnerConfig(
+        max_sampling_steps=25,
+        sampling_stop_repeats=2,
+        # The paper's runs keep the variable-cluster count far below the
+        # n/2 default (their final module counts are ~30-170 at n up to
+        # 5716, and GaneSH accounts for <5% of sequential time); n/16
+        # reproduces that regime.
+        init_var_clusters=1 / 16,
+    )
+
+
+def _cache_path(name: str) -> Path:
+    CACHE_DIR.mkdir(parents=True, exist_ok=True)
+    return CACHE_DIR / name
+
+
+def cached_json(key: str, compute):
+    """Disk-cached JSON value (for expensive non-trace measurements)."""
+    path = _cache_path(f"{key}.json")
+    if path.exists():
+        return json.loads(path.read_text())
+    value = compute()
+    path.write_text(json.dumps(value))
+    return value
+
+
+def measure_sequential(matrix, seed: int, key: str):
+    """Run the optimized learner with tracing, cached on disk."""
+    trace_path = _cache_path(f"{key}.npz")
+    meta_path = _cache_path(f"{key}.json")
+    if trace_path.exists() and meta_path.exists():
+        meta = json.loads(meta_path.read_text())
+        return load_trace(trace_path), meta
+    trace = WorkTrace()
+    t0 = time.perf_counter()
+    result = LemonTreeLearner(bench_config()).learn(matrix, seed=seed, trace=trace)
+    elapsed = time.perf_counter() - t0
+    meta = {
+        "elapsed": elapsed,
+        "task_times": {
+            "ganesh": result.task_times.ganesh,
+            "consensus": result.task_times.consensus,
+            "modules": result.task_times.modules,
+        },
+        "n_modules": result.stats["n_modules"],
+        "shape": list(matrix.shape),
+    }
+    save_trace(trace, trace_path)
+    meta_path.write_text(json.dumps(meta))
+    return trace, meta
+
+
+@pytest.fixture(scope="session")
+def grid_base_matrix():
+    """Base matrix whose prefixes form the Table 1 / Fig 3-4 grid."""
+    return make_module_dataset(max(GRID_N), max(GRID_M), seed=BENCH_SEED).matrix
+
+
+@pytest.fixture(scope="session")
+def grid_times(grid_base_matrix):
+    """Optimized-learner run-times over the full (n, m) grid, cached."""
+    times: dict[tuple[int, int], float] = {}
+    for n in GRID_N:
+        for m in GRID_M:
+            key = f"grid_opt_n{n}_m{m}_s{BENCH_SEED}_{CONFIG_TAG}"
+            sub = grid_base_matrix.subsample(n, m)
+            _trace, meta = measure_sequential(sub, BENCH_SEED, key)
+            times[(n, m)] = sum(meta["task_times"].values())
+    return times
+
+
+@pytest.fixture(scope="session")
+def yeast_complete_matrix():
+    n, m = YEAST_COMPLETE
+    return make_module_dataset(n, m, seed=7, name="yeast-like-complete").matrix
+
+
+@pytest.fixture(scope="session")
+def yeast_complete_trace(yeast_complete_matrix):
+    n, m = YEAST_COMPLETE
+    return measure_sequential(
+        yeast_complete_matrix, BENCH_SEED, f"yeast_complete_n{n}_m{m}_s{BENCH_SEED}_{CONFIG_TAG}"
+    )
+
+
+@pytest.fixture(scope="session")
+def fig5_traces(yeast_complete_matrix):
+    """Traces for the Figure 5 observation sweep at fixed n."""
+    n = YEAST_COMPLETE[0]
+    out = {}
+    for m in FIG5_M:
+        sub = yeast_complete_matrix.subsample(n, m)
+        out[m] = measure_sequential(sub, BENCH_SEED, f"fig5_n{n}_m{m}_s{BENCH_SEED}_{CONFIG_TAG}")
+    return out
+
+
+@pytest.fixture(scope="session")
+def thaliana_trace():
+    n, m = THALIANA_COMPLETE
+    matrix = make_module_dataset(n, m, seed=11, name="thaliana-like-complete").matrix
+    return measure_sequential(
+        matrix, BENCH_SEED, f"thaliana_complete_n{n}_m{m}_s{BENCH_SEED}_{CONFIG_TAG}"
+    )

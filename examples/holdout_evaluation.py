@@ -1,0 +1,82 @@
+#!/usr/bin/env python
+"""Held-out evaluation — module networks as generative models.
+
+A module network is a parameter-sharing Bayesian network (Section 2.1 of
+the paper), so the right end-to-end quality measure is predictive: learn on
+a training split of the conditions, fit the regression-tree CPDs, and
+score *unseen* conditions given their regulator values — the test-set
+likelihood selection criterion of Segal et al.  This example compares
+three models on the same held-out conditions:
+
+* the Lemon-Tree network's regulatory program,
+* the GENOMICA-style network's program,
+* the routing-free null (one pooled Gaussian per module),
+
+and then samples brand-new conditions from the fitted (acyclified)
+Lemon-Tree model to confirm the generative loop closes.
+
+Run:  python examples/holdout_evaluation.py
+"""
+
+from __future__ import annotations
+
+import networkx as nx
+import numpy as np
+
+from repro import (
+    GenomicaConfig,
+    GenomicaLearner,
+    LearnerConfig,
+    LemonTreeLearner,
+    fit_network,
+    holdout_log_likelihood,
+    make_acyclic,
+    train_test_split_obs,
+)
+from repro.data import make_module_dataset
+
+
+def main() -> None:
+    dataset = make_module_dataset(
+        n_vars=48, n_obs=90, n_modules=4, noise=0.2, heavy_tail=0.0, seed=33
+    )
+    train, test = train_test_split_obs(dataset.matrix, test_fraction=0.25, seed=2)
+    candidates = tuple(range(max(2, dataset.matrix.n_vars // 10)))
+    print(f"data: {dataset.matrix.n_vars} genes; "
+          f"train {train.n_obs} / test {test.n_obs} conditions; "
+          f"{len(candidates)} candidate regulators\n")
+
+    lemon = LemonTreeLearner(
+        LearnerConfig(max_sampling_steps=12, candidate_parents=candidates)
+    ).learn(train, seed=7).network
+    genomica = GenomicaLearner(
+        GenomicaConfig(n_modules=4, max_iterations=8, candidate_parents=candidates)
+    ).learn(train, seed=7).network
+
+    print(f"{'model':<26} {'test LL / condition':>20} {'vs null':>9}")
+    for name, network in (("Lemon-Tree", lemon), ("GENOMICA", genomica)):
+        metrics = holdout_log_likelihood(network, train, test)
+        print(f"{name:<26} {metrics['per_condition']:>20.1f} "
+              f"{metrics['improvement_per_condition']:>+9.1f}")
+    null = holdout_log_likelihood(lemon, train, test)["null_per_condition"]
+    print(f"{'pooled null (no routing)':<26} {null:>20.1f} {'+0.0':>9}")
+
+    # Generative loop: sample new conditions from the fitted model.
+    dag, removed = make_acyclic(lemon)
+    order = list(nx.topological_sort(dag.module_graph()))
+    fitted = fit_network(dag, train)
+    sampled = fitted.sample(200, np.random.default_rng(11), order)
+    labels = dag.assignment_labels()
+    corr = np.corrcoef(sampled)
+    same = labels[:, None] == labels[None, :]
+    np.fill_diagonal(same, False)
+    off_diag = ~same & ~np.eye(labels.size, dtype=bool)
+    print(f"\nsampled 200 new conditions from the acyclified network "
+          f"({len(removed)} feedback edge(s) cut):")
+    print(f"  within-module correlation  {np.nanmean(corr[same]):.2f}")
+    print(f"  between-module correlation {np.nanmean(corr[off_diag]):.2f}")
+    print("  (sampled data reproduces the module structure the network encodes)")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,82 @@
+#!/usr/bin/env python
+"""Gene-regulatory-network recovery — the paper's motivating application.
+
+Generates expression data from a *known* module network (ground-truth
+modules, regulators and regression-tree programs — the generative model of
+Segal et al. that module networks assume), learns a network back with the
+Lemon-Tree pipeline, and scores how much of the generative structure was
+recovered: module assignment (adjusted Rand index) and regulator
+identification (precision/recall of top-ranked parents), with the uniform
+random-control parents as the significance baseline the paper's pipeline
+uses downstream.
+
+Run:  python examples/regulatory_network_recovery.py
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro import LearnerConfig, LemonTreeLearner
+from repro.analysis import module_recovery_score, parent_recovery
+from repro.data import make_module_dataset
+
+
+def main() -> None:
+    dataset = make_module_dataset(
+        n_vars=60,
+        n_obs=80,
+        n_modules=5,
+        noise=0.2,
+        heavy_tail=0.05,
+        seed=101,
+        name="ground-truth-demo",
+    )
+    matrix = dataset.matrix
+    truth = dataset.truth
+    print(f"generated {matrix.n_vars} genes x {matrix.n_obs} conditions "
+          f"from {truth.n_modules} ground-truth modules")
+    for module in range(truth.n_modules):
+        members = int((truth.module_of_gene == module).sum())
+        regs = ", ".join(matrix.var_names[r] for r in truth.regulators_of(module))
+        print(f"  true M{module}: {members} genes, regulators: {regs}")
+
+    # Restrict candidate parents to the regulator pool (the generator's
+    # first genes) — the transcription-factor-list practice of real
+    # Lemon-Tree studies.  With every gene as a candidate, a module's own
+    # members out-predict the true regulator (they *are* noisy copies of
+    # the module mean), hiding the regulatory signal.
+    candidates = tuple(range(max(2, matrix.n_vars // 10)))
+    config = LearnerConfig(max_sampling_steps=15, candidate_parents=candidates)
+    result = LemonTreeLearner(config).learn(matrix, seed=4)
+    network = result.network
+    print(f"\nlearned {network.n_modules} modules in {result.task_times.total:.1f} s")
+
+    ari = module_recovery_score(network, truth)
+    print(f"\nmodule recovery (adjusted Rand index): {ari:.2f} "
+          f"(1 = exact, ~0 = random)")
+
+    for top_k in (1, 3, 5):
+        metrics = parent_recovery(network, truth, top_k=top_k)
+        print(f"regulator recovery @ top-{top_k}: "
+              f"precision {metrics['precision']:.2f}, "
+              f"recall {metrics['recall']:.2f}")
+
+    # The paper's significance control: weighted-selection parent scores
+    # should separate from the uniform random-control scores.
+    weighted = np.array(
+        [s for m in network.modules for s in m.weighted_parents.values()]
+    )
+    uniform = np.array(
+        [s for m in network.modules for s in m.uniform_parents.values()]
+    )
+    if weighted.size and uniform.size:
+        print(f"\nparent-score distributions (mean +/- sd):")
+        print(f"  weighted selection: {weighted.mean():.3f} +/- {weighted.std():.3f}")
+        print(f"  uniform control:    {uniform.mean():.3f} +/- {uniform.std():.3f}")
+        print("  (weighted scores concentrating above the control indicates "
+              "informative regulators)")
+
+
+if __name__ == "__main__":
+    main()

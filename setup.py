@@ -1,0 +1,10 @@
+"""Setup shim for environments without the ``wheel`` package.
+
+The offline toolchain here (setuptools 65, no ``wheel``) cannot build PEP
+660 editable wheels, so ``pip install -e . --no-build-isolation`` falls
+back to this legacy path.  All metadata lives in ``pyproject.toml``.
+"""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,85 @@
+"""repro — Parallel Construction of Module Networks (SC '21 reproduction).
+
+A Python reproduction of Srivastava, Chockalingam, Aluru & Aluru,
+"Parallel Construction of Module Networks", SC '21: the Lemon-Tree
+module-network learning algorithm (GaneSH co-clustering, consensus
+clustering, regression-tree CPD learning) together with its
+distributed-memory parallelization, on a simulated MPI machine with a
+calibrated communication model.
+
+Quickstart::
+
+    from repro import LearnerConfig, LemonTreeLearner, yeast_like
+
+    dataset = yeast_like(scale=1 / 64)
+    result = LemonTreeLearner(LearnerConfig()).learn(dataset.matrix, seed=1)
+    print(result.network)
+
+See DESIGN.md for the system inventory and EXPERIMENTS.md for the
+reproduced tables and figures.
+"""
+
+from repro.core import (
+    LearnerConfig,
+    LearnResult,
+    LemonTreeLearner,
+    ReferenceLearner,
+    network_from_json,
+    network_to_json,
+    network_to_xml,
+)
+from repro.data import (
+    make_module_dataset,
+    read_expression_tsv,
+    thaliana_like,
+    write_expression_tsv,
+    yeast_like,
+)
+from repro.analysis import make_acyclic, module_recovery_score, parent_recovery
+from repro.datatypes import ExpressionMatrix, Module, ModuleNetwork, TaskTimes
+from repro.genomica import GenomicaConfig, GenomicaLearner
+from repro.inference import (
+    fit_network,
+    holdout_log_likelihood,
+    train_test_split_obs,
+)
+from repro.parallel import (
+    MachineModel,
+    ParallelLearner,
+    WorkTrace,
+    project_time,
+)
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "LearnerConfig",
+    "LemonTreeLearner",
+    "ReferenceLearner",
+    "LearnResult",
+    "ExpressionMatrix",
+    "Module",
+    "ModuleNetwork",
+    "TaskTimes",
+    "MachineModel",
+    "ParallelLearner",
+    "WorkTrace",
+    "project_time",
+    "make_module_dataset",
+    "yeast_like",
+    "thaliana_like",
+    "read_expression_tsv",
+    "write_expression_tsv",
+    "network_to_json",
+    "network_from_json",
+    "network_to_xml",
+    "GenomicaLearner",
+    "GenomicaConfig",
+    "fit_network",
+    "holdout_log_likelihood",
+    "train_test_split_obs",
+    "make_acyclic",
+    "module_recovery_score",
+    "parent_recovery",
+    "__version__",
+]

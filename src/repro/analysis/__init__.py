@@ -1,0 +1,25 @@
+"""Analysis helpers for learned module networks.
+
+Quality metrics used by the examples and tests to verify that the learner
+recovers generative structure from the synthetic data substrate — the role
+the biological validation studies play for Lemon-Tree in the literature
+(Section 1.1 of the paper).
+"""
+
+from repro.analysis.acyclicity import RemovedEdge, make_acyclic
+from repro.analysis.report import network_report, parent_score_summary
+from repro.analysis.recovery import (
+    adjusted_rand_index,
+    module_recovery_score,
+    parent_recovery,
+)
+
+__all__ = [
+    "adjusted_rand_index",
+    "module_recovery_score",
+    "parent_recovery",
+    "make_acyclic",
+    "RemovedEdge",
+    "network_report",
+    "parent_score_summary",
+]

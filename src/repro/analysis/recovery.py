@@ -1,0 +1,72 @@
+"""Recovery metrics: how well a learned network matches generative truth."""
+
+from __future__ import annotations
+
+from math import comb
+
+import numpy as np
+
+from repro.data.synthetic import GroundTruth
+from repro.datatypes import ModuleNetwork
+
+
+def adjusted_rand_index(labels_a: np.ndarray, labels_b: np.ndarray) -> float:
+    """Adjusted Rand index between two partitions (1 = identical,
+    ~0 = random agreement)."""
+    a = np.asarray(labels_a)
+    b = np.asarray(labels_b)
+    if a.shape != b.shape:
+        raise ValueError("label arrays must align")
+    n = a.size
+    if n < 2:
+        return 1.0
+    _, a_inv = np.unique(a, return_inverse=True)
+    _, b_inv = np.unique(b, return_inverse=True)
+    table = np.zeros((a_inv.max() + 1, b_inv.max() + 1), dtype=np.int64)
+    np.add.at(table, (a_inv, b_inv), 1)
+
+    sum_cells = sum(comb(int(x), 2) for x in table.ravel())
+    sum_rows = sum(comb(int(x), 2) for x in table.sum(axis=1))
+    sum_cols = sum(comb(int(x), 2) for x in table.sum(axis=0))
+    total = comb(n, 2)
+    expected = sum_rows * sum_cols / total
+    max_index = (sum_rows + sum_cols) / 2.0
+    if max_index == expected:
+        return 1.0
+    return float((sum_cells - expected) / (max_index - expected))
+
+
+def module_recovery_score(network: ModuleNetwork, truth: GroundTruth) -> float:
+    """ARI between learned module assignment and the generative modules."""
+    return adjusted_rand_index(network.assignment_labels(), truth.module_of_gene)
+
+
+def parent_recovery(
+    network: ModuleNetwork, truth: GroundTruth, top_k: int = 3
+) -> dict[str, float]:
+    """Regulator-recovery precision/recall.
+
+    For each learned module, its top-``top_k`` weighted parents are compared
+    against the generative regulators of the ground-truth module its members
+    predominantly come from.  Returns micro-averaged precision and recall.
+    """
+    tp = 0
+    n_predicted = 0
+    n_true = 0
+    truth_labels = truth.module_of_gene
+    for module in network.modules:
+        if not module.members:
+            continue
+        member_truth = truth_labels[np.asarray(module.members)]
+        dominant = int(np.bincount(member_truth).argmax())
+        true_regs = set(truth.regulators_of(dominant))
+        ranked = sorted(
+            module.weighted_parents.items(), key=lambda kv: (-kv[1], kv[0])
+        )
+        predicted = {parent for parent, _score in ranked[:top_k]}
+        tp += len(predicted & true_regs)
+        n_predicted += len(predicted)
+        n_true += len(true_regs)
+    precision = tp / n_predicted if n_predicted else 0.0
+    recall = tp / n_true if n_true else 0.0
+    return {"precision": precision, "recall": recall, "true_positives": float(tp)}

@@ -1,0 +1,77 @@
+"""Human-readable summaries of learned module networks."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.datatypes import ModuleNetwork
+
+
+def network_report(network: ModuleNetwork, top_regulators: int = 3) -> str:
+    """A text report: global stats, per-module membership, top regulators,
+    tree shapes, and module-graph structure (including feedback edges, since
+    learned networks are not DAGs by default)."""
+    lines: list[str] = []
+    sizes = [module.size for module in network.modules]
+    lines.append(
+        f"module network: {network.n_vars} variables, {network.n_obs} "
+        f"observations, {network.n_modules} modules"
+    )
+    if sizes:
+        lines.append(
+            f"module sizes: min {min(sizes)}, median "
+            f"{int(np.median(sizes))}, max {max(sizes)}"
+        )
+
+    graph = network.module_graph()
+    feedback = network.feedback_edges()
+    lines.append(
+        f"module graph: {graph.number_of_edges()} edges, "
+        f"{len(feedback)} feedback edge(s)"
+        + (" (acyclic)" if not feedback else "")
+    )
+    lines.append("")
+
+    for module in network.modules:
+        names = [network.var_names[v] for v in module.members[:6]]
+        member_str = ", ".join(names) + (" ..." if module.size > 6 else "")
+        lines.append(f"M{module.module_id} ({module.size} variables): {member_str}")
+        ranked = sorted(module.weighted_parents.items(), key=lambda kv: (-kv[1], kv[0]))
+        if ranked:
+            regs = ", ".join(
+                f"{network.var_names[p]} ({score:.3f})"
+                for p, score in ranked[:top_regulators]
+            )
+            lines.append(f"  regulators: {regs}")
+        else:
+            lines.append("  regulators: (none retained)")
+        for tree in module.trees:
+            internal = len(tree.internal_nodes())
+            lines.append(
+                f"  tree: {tree.n_leaves()} leaves, {internal} internal "
+                f"nodes, depth {tree.root.depth()}"
+            )
+    return "\n".join(lines)
+
+
+def parent_score_summary(network: ModuleNetwork) -> dict[str, float]:
+    """Aggregate statistics of the weighted vs uniform parent scores —
+    the significance comparison the paper's downstream analyses use."""
+    weighted = np.array(
+        [s for m in network.modules for s in m.weighted_parents.values()]
+    )
+    uniform = np.array(
+        [s for m in network.modules for s in m.uniform_parents.values()]
+    )
+    out = {
+        "n_weighted_parents": float(weighted.size),
+        "n_uniform_parents": float(uniform.size),
+    }
+    if weighted.size:
+        out["weighted_mean"] = float(weighted.mean())
+        out["weighted_max"] = float(weighted.max())
+    if uniform.size:
+        out["uniform_mean"] = float(uniform.mean())
+    if weighted.size and uniform.size and uniform.mean() > 0:
+        out["separation"] = float(weighted.mean() / uniform.mean())
+    return out

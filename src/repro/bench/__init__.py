@@ -1,0 +1,25 @@
+"""Shared infrastructure for the benchmark harness.
+
+Each file in ``benchmarks/`` regenerates one table or figure of the paper's
+evaluation (Section 5); this package holds the pieces they share — paper
+reference data, growth-law fits, the Section 5.2.2 extrapolation
+methodology, and plain-text table/figure renderers.
+"""
+
+from repro.bench.paper import PAPER
+from repro.bench.reporting import render_figure_series, render_table, save_results
+from repro.bench.runtime_model import (
+    estimate_full_scale_runtime,
+    fit_growth_exponent,
+    growth_ratios,
+)
+
+__all__ = [
+    "PAPER",
+    "render_table",
+    "render_figure_series",
+    "save_results",
+    "fit_growth_exponent",
+    "growth_ratios",
+    "estimate_full_scale_runtime",
+]

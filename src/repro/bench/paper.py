@@ -1,0 +1,84 @@
+"""Reference numbers reported in the paper (Section 5), used by the
+benchmarks to print paper-vs-measured comparisons into EXPERIMENTS.md."""
+
+from __future__ import annotations
+
+#: Table 1 — sequential run-times (seconds) for Lemon-Tree vs the authors'
+#: optimized implementation on yeast subsamples, and the speedup column.
+TABLE1 = {
+    (1000, 125): (416.0, 110.3, 3.8),
+    (1000, 250): (1609.9, 428.3, 3.8),
+    (1000, 500): (6307.9, 1686.2, 3.7),
+    (1000, 750): (13441.5, 3574.5, 3.8),
+    (1000, 1000): (25253.6, 6680.7, 3.8),
+    (2000, 125): (1407.5, 392.8, 3.6),
+    (2000, 250): (5747.2, 1562.7, 3.7),
+    (2000, 500): (23258.4, 6202.3, 3.7),
+    (2000, 750): (52606.2, 14038.7, 3.7),
+    (2000, 1000): (91202.7, 24327.0, 3.7),
+    (3000, 125): (2942.8, 792.0, 3.7),
+    (3000, 250): (11962.1, 3193.4, 3.7),
+    (3000, 500): (50838.0, 13553.9, 3.8),
+    (3000, 750): (108545.5, 28942.3, 3.8),
+    (3000, 1000): (197493.4, 52709.6, 3.8),
+}
+
+#: Table 2 — A. thaliana run-times and relative speedup/efficiency vs 256
+#: cores.
+TABLE2 = {
+    256: (168775.6, 1.0, 100.0),
+    512: (91349.6, 1.8, 92.4),
+    1024: (54099.1, 3.1, 78.0),
+    2048: (28529.3, 5.9, 73.9),
+    4096: (15097.6, 11.2, 69.9),
+}
+
+#: Figure 3/4 — observed growth laws of the sequential implementation.
+GROWTH = {
+    "m_exponent": 2.0,  # Theta(m^2) for fixed n
+    "n_exponent_low": 1.8,  # Omega(n^1.8) ...
+    "n_exponent_high": 2.0,  # ... O(n^2) for fixed m
+}
+
+#: Figure 5b — strong-scaling observations for the yeast m-sweep.
+FIG5 = {
+    "speedup_at_64": 48.0,
+    "efficiency_at_64": 0.75,
+    "speedup_range_at_1024": (273.9, 288.3),
+    "small_m_diverges": 125,  # the m=125 curve departs from the others
+}
+
+#: Section 5.3.1 — split-scoring load imbalance (max-mean)/mean.
+IMBALANCE = {64: 0.3, 128: 0.5, 1024: 2.6}
+
+#: Figure 6 — complete yeast data set scaling.
+FIG6 = {
+    "rel_speedup_4_to_128": 22.6,
+    "rel_efficiency_4_to_128": 0.70,
+    "rel_speedup_4_to_4096": 239.3,
+    "rel_efficiency_4_to_4096": 0.234,
+    "runtime_4096_minutes": 23.5,
+}
+
+#: Section 5.2.2 — extrapolated sequential run-times.
+ESTIMATES = {
+    "yeast_ours_days": 13.5,
+    "yeast_lemontree_days": 48.6,
+    "thaliana_ours_days": 433.6,
+    "thaliana_lemontree_days": 1561.0,
+    "verified_yeast_hours": 325.1,  # single full sequential run check
+}
+
+#: Shapes of the paper's data sets.
+SHAPES = {"yeast": (5716, 2577), "thaliana": (18373, 5102)}
+
+PAPER = {
+    "table1": TABLE1,
+    "table2": TABLE2,
+    "growth": GROWTH,
+    "fig5": FIG5,
+    "fig6": FIG6,
+    "imbalance": IMBALANCE,
+    "estimates": ESTIMATES,
+    "shapes": SHAPES,
+}

@@ -1,0 +1,80 @@
+"""Plain-text renderers and result persistence for the benchmark harness.
+
+Every benchmark prints the rows/series the corresponding paper table or
+figure reports and saves a JSON record under ``benchmarks/results/`` so
+EXPERIMENTS.md can cite exact measured values.
+"""
+
+from __future__ import annotations
+
+import json
+import time
+from pathlib import Path
+from typing import Sequence
+
+RESULTS_DIR = Path(__file__).resolve().parents[3] / "benchmarks" / "results"
+
+
+def render_table(
+    title: str,
+    headers: Sequence[str],
+    rows: Sequence[Sequence[object]],
+) -> str:
+    """A fixed-width text table in the style of the paper's tables."""
+    cells = [[_fmt(cell) for cell in row] for row in rows]
+    widths = [
+        max(len(str(headers[i])), *(len(row[i]) for row in cells)) if cells else len(str(headers[i]))
+        for i in range(len(headers))
+    ]
+    sep = "-+-".join("-" * w for w in widths)
+    lines = [title, "=" * len(title)]
+    lines.append(" | ".join(str(h).ljust(w) for h, w in zip(headers, widths)))
+    lines.append(sep)
+    for row in cells:
+        lines.append(" | ".join(cell.ljust(w) for cell, w in zip(row, widths)))
+    return "\n".join(lines)
+
+
+def render_figure_series(
+    title: str,
+    x_label: str,
+    series: dict[str, dict[float, float]],
+    y_format: str = "{:.3g}",
+) -> str:
+    """A text rendering of a figure: one column per series, rows over x."""
+    xs = sorted({x for points in series.values() for x in points})
+    headers = [x_label] + list(series)
+    rows = []
+    for x in xs:
+        row = [x]
+        for name in series:
+            value = series[name].get(x)
+            row.append(y_format.format(value) if value is not None else "-")
+        rows.append(row)
+    return render_table(title, headers, rows)
+
+
+def _fmt(cell: object) -> str:
+    if isinstance(cell, float):
+        if cell == 0:
+            return "0"
+        if abs(cell) >= 1000 or abs(cell) < 0.01:
+            return f"{cell:.3g}"
+        return f"{cell:.2f}"
+    return str(cell)
+
+
+def save_results(experiment: str, payload: dict) -> Path:
+    """Persist one experiment's measurements for EXPERIMENTS.md."""
+    RESULTS_DIR.mkdir(parents=True, exist_ok=True)
+    path = RESULTS_DIR / f"{experiment}.json"
+    record = {"experiment": experiment, "recorded_at": time.time(), **payload}
+    path.write_text(json.dumps(record, indent=2, sort_keys=True, default=str))
+    return path
+
+
+def load_results(experiment: str) -> dict | None:
+    path = RESULTS_DIR / f"{experiment}.json"
+    if not path.exists():
+        return None
+    return json.loads(path.read_text())

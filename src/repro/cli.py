@@ -1,0 +1,355 @@
+"""Command-line interface: the Lemon-Tree-style driver.
+
+Subcommands::
+
+    python -m repro generate --n 120 --m 80 --out expr.tsv
+    python -m repro learn --input expr.tsv --seed 1 --out-json net.json
+    python -m repro learn --preset yeast --scale 0.01 --out-xml net.xml
+    python -m repro scale --input expr.tsv --seed 1 --procs 4 64 1024
+    python -m repro compare --input expr.tsv --seed 1 --modules 6
+
+``learn`` runs the full Lemon-Tree pipeline (optionally in SPMD-parallel
+mode with ``--parallel P`` and/or with acyclicity post-processing),
+``scale`` records a work trace and prints the projected strong-scaling
+table, ``compare`` pits the Lemon-Tree pipeline against the GENOMICA-style
+two-step learner, and ``generate`` writes synthetic module-structured
+expression data.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+from pathlib import Path
+
+from repro.core.config import LearnerConfig
+from repro.core.learner import LemonTreeLearner
+from repro.core.output import network_to_json, network_to_xml
+from repro.data.io import read_expression_tsv, write_expression_tsv
+from repro.data.synthetic import make_module_dataset, thaliana_like, yeast_like
+from repro.datatypes import ExpressionMatrix
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro", description="Parallel construction of module networks"
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    gen = sub.add_parser("generate", help="write a synthetic expression matrix")
+    gen.add_argument("--n", type=int, default=100, help="number of genes")
+    gen.add_argument("--m", type=int, default=60, help="number of observations")
+    gen.add_argument("--modules", type=int, default=None, help="ground-truth modules")
+    gen.add_argument("--noise", type=float, default=0.4)
+    gen.add_argument("--seed", type=int, default=0)
+    gen.add_argument("--out", required=True, help="output TSV path")
+
+    learn = sub.add_parser("learn", help="learn a module network")
+    _add_data_args(learn)
+    learn.add_argument("--seed", type=int, default=0)
+    learn.add_argument("--ganesh-runs", type=int, default=1, help="GaneSH runs (G)")
+    learn.add_argument("--update-steps", type=int, default=1, help="update steps (U)")
+    learn.add_argument("--init-clusters", type=float, default=None,
+                       help="initial variable clusters (int, or fraction of n)")
+    learn.add_argument("--splits", type=int, default=2, help="splits per node (J)")
+    learn.add_argument("--sampling-steps", type=int, default=10,
+                       help="max discrete sampling steps per split (S)")
+    learn.add_argument("--parallel", type=int, default=0, metavar="P",
+                       help="run the SPMD parallel learner on P thread ranks")
+    learn.add_argument("--acyclic", action="store_true",
+                       help="post-process the network into a DAG")
+    learn.add_argument("--out-json", default=None)
+    learn.add_argument("--out-xml", default=None)
+
+    scale = sub.add_parser("scale", help="strong-scaling projection study")
+    _add_data_args(scale)
+    scale.add_argument("--seed", type=int, default=0)
+    scale.add_argument("--sampling-steps", type=int, default=10)
+    scale.add_argument("--procs", type=int, nargs="+",
+                       default=[1, 4, 16, 64, 256, 1024, 4096])
+    scale.add_argument("--tau", type=float, default=None, help="latency (s)")
+    scale.add_argument("--mu", type=float, default=None, help="per-word time (s)")
+
+    compare = sub.add_parser(
+        "compare", help="Lemon-Tree pipeline vs GENOMICA-style learner"
+    )
+    _add_data_args(compare)
+    compare.add_argument("--seed", type=int, default=0)
+    compare.add_argument("--modules", type=int, default=8,
+                         help="module count for the GENOMICA learner")
+
+    # Task-by-task workflow (how Lemon-Tree itself is driven: separate
+    # invocations exchanging intermediate files, so the G GaneSH runs can
+    # be separate cluster jobs).
+    ganesh = sub.add_parser("ganesh", help="task 1: sample variable clusterings")
+    _add_data_args(ganesh)
+    ganesh.add_argument("--seed", type=int, default=0)
+    ganesh.add_argument("--runs", type=int, default=1, help="GaneSH runs (G)")
+    ganesh.add_argument("--update-steps", type=int, default=1)
+    ganesh.add_argument("--init-clusters", type=float, default=None)
+    ganesh.add_argument("--out", required=True, help="clusterings JSON")
+
+    consensus = sub.add_parser("consensus", help="task 2: consensus modules")
+    consensus.add_argument("--inputs", nargs="+", required=True,
+                           help="clustering JSON files from the ganesh task")
+    consensus.add_argument("--threshold", type=float, default=0.25)
+    consensus.add_argument("--max-modules", type=int, default=None)
+    consensus.add_argument("--out", required=True, help="modules JSON")
+
+    modules = sub.add_parser("modules", help="task 3: trees, splits, parents")
+    _add_data_args(modules)
+    modules.add_argument("--seed", type=int, default=0)
+    modules.add_argument("--modules-file", required=True,
+                         help="modules JSON from the consensus task")
+    modules.add_argument("--splits", type=int, default=2)
+    modules.add_argument("--sampling-steps", type=int, default=10)
+    modules.add_argument("--checkpoint-dir", default=None,
+                         help="resume/continue directory for per-module checkpoints")
+    modules.add_argument("--out-json", default=None)
+    modules.add_argument("--out-xml", default=None)
+
+    report = sub.add_parser("report", help="summarize a learned network")
+    report.add_argument("--network", required=True, help="network JSON file")
+    report.add_argument("--top", type=int, default=3, help="regulators per module")
+    return parser
+
+
+def _add_data_args(parser: argparse.ArgumentParser) -> None:
+    source = parser.add_mutually_exclusive_group(required=True)
+    source.add_argument("--input", help="expression matrix TSV")
+    source.add_argument("--preset", choices=["yeast", "thaliana"],
+                        help="synthetic preset data set")
+    parser.add_argument("--scale", type=float, default=1 / 64,
+                        help="preset scale factor (with --preset)")
+
+
+def _load_matrix(args: argparse.Namespace) -> ExpressionMatrix:
+    if args.input:
+        return read_expression_tsv(args.input)
+    preset = yeast_like if args.preset == "yeast" else thaliana_like
+    return preset(scale=args.scale).matrix
+
+
+def _learner_config(args: argparse.Namespace) -> LearnerConfig:
+    init = args.init_clusters if hasattr(args, "init_clusters") else None
+    if init is not None and init >= 1:
+        init = int(init)
+    return LearnerConfig(
+        n_ganesh_runs=getattr(args, "ganesh_runs", 1),
+        n_update_steps=getattr(args, "update_steps", 1),
+        init_var_clusters=init,
+        n_splits_per_node=getattr(args, "splits", 2),
+        max_sampling_steps=getattr(args, "sampling_steps", 10),
+    )
+
+
+def cmd_generate(args: argparse.Namespace) -> int:
+    dataset = make_module_dataset(
+        args.n, args.m, n_modules=args.modules, noise=args.noise, seed=args.seed
+    )
+    write_expression_tsv(dataset.matrix, args.out)
+    print(f"wrote {args.out}: {dataset.matrix.n_vars} x {dataset.matrix.n_obs} "
+          f"({dataset.truth.n_modules} ground-truth modules)")
+    return 0
+
+
+def cmd_learn(args: argparse.Namespace) -> int:
+    matrix = _load_matrix(args)
+    config = _learner_config(args)
+    t0 = time.perf_counter()
+    if args.parallel and args.parallel > 1:
+        from repro.parallel.engine import ParallelLearner
+
+        network = ParallelLearner(config).learn(matrix, seed=args.seed, p=args.parallel).network
+        mode = f"parallel p={args.parallel}"
+    else:
+        network = LemonTreeLearner(config).learn(matrix, seed=args.seed).network
+        mode = "sequential"
+    elapsed = time.perf_counter() - t0
+
+    removed = []
+    if args.acyclic:
+        from repro.analysis.acyclicity import make_acyclic
+
+        network, removed = make_acyclic(network)
+
+    print(f"learned {network.n_modules} modules from {matrix.n_vars} x "
+          f"{matrix.n_obs} in {elapsed:.1f} s ({mode})")
+    if removed:
+        print(f"acyclicity post-processing removed {len(removed)} module edge(s)")
+    for module in network.modules:
+        top = sorted(module.weighted_parents.items(), key=lambda kv: -kv[1])[:3]
+        regs = ", ".join(f"{matrix.var_names[p]}({s:.2f})" for p, s in top)
+        print(f"  M{module.module_id}: {module.size} genes; regulators: {regs or '-'}")
+
+    if args.out_json:
+        Path(args.out_json).write_text(network_to_json(network), encoding="utf-8")
+        print(f"wrote {args.out_json}")
+    if args.out_xml:
+        Path(args.out_xml).write_text(network_to_xml(network), encoding="utf-8")
+        print(f"wrote {args.out_xml}")
+    return 0
+
+
+def cmd_scale(args: argparse.Namespace) -> int:
+    from repro.parallel.costmodel import PHOENIX_LIKE, MachineModel
+    from repro.parallel.trace import WorkTrace, project_time
+
+    matrix = _load_matrix(args)
+    config = LearnerConfig(max_sampling_steps=args.sampling_steps)
+    trace = WorkTrace()
+    result = LemonTreeLearner(config).learn(matrix, seed=args.seed, trace=trace)
+    t1 = result.task_times.total
+    model = PHOENIX_LIKE
+    if args.tau is not None or args.mu is not None:
+        model = MachineModel(
+            tau=args.tau if args.tau is not None else PHOENIX_LIKE.tau,
+            mu=args.mu if args.mu is not None else PHOENIX_LIKE.mu,
+        )
+    print(f"T_1 = {t1:.2f} s on {matrix.n_vars} x {matrix.n_obs}")
+    print(f"{'p':>6} {'T_p (s)':>10} {'speedup':>9} {'efficiency':>11} {'imbalance':>10}")
+    for p in args.procs:
+        tp = project_time(trace, p, model=model).total
+        print(f"{p:>6} {tp:>10.3f} {t1 / tp:>9.1f} {t1 / tp / p:>11.0%} "
+              f"{trace.split_imbalance(p):>10.2f}")
+    return 0
+
+
+def cmd_compare(args: argparse.Namespace) -> int:
+    from repro.genomica import GenomicaConfig, GenomicaLearner
+
+    matrix = _load_matrix(args)
+    t0 = time.perf_counter()
+    lemon = LemonTreeLearner(LearnerConfig()).learn(matrix, seed=args.seed)
+    t_lemon = time.perf_counter() - t0
+    t0 = time.perf_counter()
+    genomica = GenomicaLearner(
+        GenomicaConfig(n_modules=args.modules)
+    ).learn(matrix, seed=args.seed)
+    t_genomica = time.perf_counter() - t0
+
+    print(f"{'approach':<22} {'modules':>8} {'time (s)':>9}")
+    print(f"{'Lemon-Tree pipeline':<22} {lemon.network.n_modules:>8} {t_lemon:>9.1f}")
+    print(f"{'GENOMICA two-step':<22} {genomica.network.n_modules:>8} {t_genomica:>9.1f}")
+    from repro.analysis.recovery import adjusted_rand_index
+
+    agreement = adjusted_rand_index(
+        lemon.network.assignment_labels(), genomica.network.assignment_labels()
+    )
+    print(f"module-assignment agreement (ARI): {agreement:.2f}")
+    return 0
+
+
+def cmd_ganesh(args: argparse.Namespace) -> int:
+    import json
+
+    matrix = _load_matrix(args)
+    init = args.init_clusters
+    if init is not None and init >= 1:
+        init = int(init)
+    config = LearnerConfig(
+        n_ganesh_runs=args.runs,
+        n_update_steps=args.update_steps,
+        init_var_clusters=init,
+    )
+    samples = LemonTreeLearner(config).sample_clusterings(matrix, seed=args.seed)
+    payload = {
+        "n_vars": matrix.n_vars,
+        "seed": args.seed,
+        "samples": [[int(v) for v in s] for s in samples],
+    }
+    Path(args.out).write_text(json.dumps(payload), encoding="utf-8")
+    print(f"wrote {args.out}: {len(samples)} clustering sample(s) for "
+          f"{matrix.n_vars} variables")
+    return 0
+
+
+def cmd_consensus(args: argparse.Namespace) -> int:
+    import json
+
+    import numpy as np
+
+    samples = []
+    n_vars = None
+    for path in args.inputs:
+        payload = json.loads(Path(path).read_text())
+        if n_vars is None:
+            n_vars = payload["n_vars"]
+        elif n_vars != payload["n_vars"]:
+            raise SystemExit(f"{path}: variable count mismatch")
+        samples.extend(np.asarray(s) for s in payload["samples"])
+    config = LearnerConfig(
+        consensus_threshold=args.threshold, max_modules=args.max_modules
+    )
+    modules = LemonTreeLearner(config).consensus(samples)
+    Path(args.out).write_text(
+        json.dumps({"n_vars": n_vars, "modules": modules}), encoding="utf-8"
+    )
+    print(f"wrote {args.out}: {len(modules)} consensus modules from "
+          f"{len(samples)} sample(s)")
+    return 0
+
+
+def cmd_modules(args: argparse.Namespace) -> int:
+    import json
+
+    matrix = _load_matrix(args)
+    payload = json.loads(Path(args.modules_file).read_text())
+    if payload["n_vars"] != matrix.n_vars:
+        raise SystemExit(
+            f"{args.modules_file}: modules were built for {payload['n_vars']} "
+            f"variables, matrix has {matrix.n_vars}"
+        )
+    config = LearnerConfig(
+        n_splits_per_node=args.splits, max_sampling_steps=args.sampling_steps
+    )
+    result = LemonTreeLearner(config).learn_from_modules(
+        matrix, payload["modules"], seed=args.seed,
+        checkpoint_dir=args.checkpoint_dir,
+    )
+    network = result.network
+    print(f"learned trees and parents for {network.n_modules} modules "
+          f"in {result.task_times.modules:.1f} s")
+    if args.out_json:
+        Path(args.out_json).write_text(network_to_json(network), encoding="utf-8")
+        print(f"wrote {args.out_json}")
+    if args.out_xml:
+        Path(args.out_xml).write_text(network_to_xml(network), encoding="utf-8")
+        print(f"wrote {args.out_xml}")
+    return 0
+
+
+def cmd_report(args: argparse.Namespace) -> int:
+    from repro.analysis.report import network_report, parent_score_summary
+    from repro.core.output import network_from_json
+
+    network = network_from_json(Path(args.network).read_text())
+    print(network_report(network, top_regulators=args.top))
+    summary = parent_score_summary(network)
+    if summary.get("n_weighted_parents"):
+        print()
+        print("parent-score summary: "
+              + ", ".join(f"{k}={v:.3g}" for k, v in summary.items()))
+    return 0
+
+
+COMMANDS = {
+    "generate": cmd_generate,
+    "learn": cmd_learn,
+    "scale": cmd_scale,
+    "compare": cmd_compare,
+    "ganesh": cmd_ganesh,
+    "consensus": cmd_consensus,
+    "modules": cmd_modules,
+    "report": cmd_report,
+}
+
+
+def main(argv: list[str] | None = None) -> int:
+    args = build_parser().parse_args(argv)
+    return COMMANDS[args.command](args)
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised via __main__
+    sys.exit(main())

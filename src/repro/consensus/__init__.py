@@ -1,0 +1,14 @@
+"""Consensus clustering of GaneSH variable-cluster ensembles (Section 2.2.2).
+
+The ensemble of variable clusterings sampled by the GaneSH runs is condensed
+into a single consensus clustering: a thresholded co-occurrence frequency
+matrix is built (:mod:`repro.consensus.cooccurrence`) and fed to the
+spectral clustering procedure of Michoel & Nachtergaele
+(:mod:`repro.consensus.spectral`).  As in the paper, this task is always
+executed sequentially — it accounts for less than 0.04% of total run-time.
+"""
+
+from repro.consensus.cooccurrence import cooccurrence_matrix
+from repro.consensus.spectral import consensus_clusters, spectral_clusters
+
+__all__ = ["cooccurrence_matrix", "spectral_clusters", "consensus_clusters"]

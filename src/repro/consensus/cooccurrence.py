@@ -1,0 +1,38 @@
+"""Co-occurrence frequency matrix over an ensemble of clusterings."""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+import numpy as np
+
+
+def cooccurrence_matrix(
+    samples: Sequence[np.ndarray], threshold: float = 0.0
+) -> np.ndarray:
+    """Symmetric ``n x n`` co-occurrence frequency matrix.
+
+    Entry ``(i, j)`` is the fraction of sampled clusterings in which
+    variables ``i`` and ``j`` share a cluster (Section 2.2.2).  Entries
+    strictly below ``threshold`` are zeroed, as are the diagonal entries
+    (self co-occurrence carries no grouping information for the spectral
+    step).
+    """
+    if not samples:
+        raise ValueError("need at least one clustering sample")
+    first = np.asarray(samples[0])
+    n = first.shape[0]
+    accum = np.zeros((n, n), dtype=np.float64)
+    for labels in samples:
+        labels = np.asarray(labels, dtype=np.int64)
+        if labels.shape != (n,):
+            raise ValueError("all samples must label the same variables")
+        n_clusters = int(labels.max()) + 1
+        onehot = np.zeros((n, n_clusters), dtype=np.float64)
+        onehot[np.arange(n), labels] = 1.0
+        accum += onehot @ onehot.T
+    accum /= len(samples)
+    if threshold > 0.0:
+        accum[accum < threshold] = 0.0
+    np.fill_diagonal(accum, 0.0)
+    return accum

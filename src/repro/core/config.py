@@ -1,0 +1,112 @@
+"""Execution parameters for module-network learning."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Sequence
+
+from repro.scoring.normal_gamma import DEFAULT_PRIOR, NormalGammaPrior
+from repro.scoring.split_score import DEFAULT_BETA_GRID
+
+
+@dataclass(frozen=True)
+class LearnerConfig:
+    """All knobs of the three Lemon-Tree tasks.
+
+    The defaults correspond to the paper's minimum-run-time experimental
+    configuration (Section 5.1): a single GaneSH run with one update step,
+    one regression tree per module, and every variable as a candidate
+    parent for every module.
+    """
+
+    # -- task 1: GaneSH co-clustering (Section 2.2.1) --------------------
+    #: number of independent GaneSH runs (the paper's G)
+    n_ganesh_runs: int = 1
+    #: update steps per run (the paper's U)
+    n_update_steps: int = 1
+    #: initial variable clusters K0: an int, a float in (0, 1) interpreted
+    #: as a fraction of n, or ``None`` -> n // 2 (Lemon-Tree's default when
+    #: the user provides no cluster count)
+    init_var_clusters: int | float | None = None
+
+    # -- task 2: consensus clustering (Section 2.2.2) --------------------
+    #: co-occurrence weights below this threshold are zeroed
+    consensus_threshold: float = 0.25
+    #: optional cap on the number of consensus modules
+    max_modules: int | None = None
+
+    # -- task 3: learning the modules (Section 2.2.3) --------------------
+    #: update steps of the per-module observation-only GaneSH run
+    tree_update_steps: int = 1
+    #: burn-in steps before observation clusterings are sampled (paper's B)
+    tree_burn_in: int = 0
+    #: candidate parent variable indices (``None`` -> all variables)
+    candidate_parents: tuple[int, ...] | None = None
+    #: splits selected per node per sampling mode (the paper's J)
+    n_splits_per_node: int = 2
+    #: maximum discrete sampling steps per candidate split (the paper's S)
+    max_sampling_steps: int = 10
+    #: consecutive rejections after which a split's chain stops early
+    sampling_stop_repeats: int = 3
+    #: the discrete grid of sigmoid steepness values explored per split
+    beta_grid: tuple[float, ...] = DEFAULT_BETA_GRID
+
+    # -- shared -----------------------------------------------------------
+    prior: NormalGammaPrior = field(default_factory=lambda: DEFAULT_PRIOR)
+    #: RNG backend: "philox" (default) or "mrg"
+    rng_backend: str = "philox"
+
+    def __post_init__(self) -> None:
+        if self.n_ganesh_runs < 1:
+            raise ValueError("n_ganesh_runs must be at least 1")
+        if self.n_update_steps < 1:
+            raise ValueError("n_update_steps must be at least 1")
+        if self.tree_update_steps < 1:
+            raise ValueError("tree_update_steps must be at least 1")
+        if not 0 <= self.tree_burn_in:
+            raise ValueError("tree_burn_in must be non-negative")
+        if self.n_splits_per_node < 1:
+            raise ValueError("n_splits_per_node must be at least 1")
+        if self.max_sampling_steps < 1:
+            raise ValueError("max_sampling_steps must be at least 1")
+        if not 0.0 <= self.consensus_threshold <= 1.0:
+            raise ValueError("consensus_threshold must lie in [0, 1]")
+        if self.rng_backend not in ("philox", "mrg"):
+            raise ValueError("rng_backend must be 'philox' or 'mrg'")
+
+    def resolve_init_clusters(self, n_vars: int) -> int:
+        """The initial variable-cluster count K0 for ``n_vars`` variables."""
+        value = self.init_var_clusters
+        if value is None:
+            k0 = max(1, n_vars // 2)
+        elif isinstance(value, float) and 0.0 < value < 1.0:
+            k0 = max(1, int(n_vars * value))
+        elif isinstance(value, (int, float)) and value >= 1:
+            k0 = int(value)
+        else:
+            raise ValueError(f"invalid init_var_clusters: {value!r}")
+        return min(k0, n_vars)
+
+    def resolve_candidate_parents(self, n_vars: int) -> tuple[int, ...]:
+        """The candidate-parent list, defaulting to every variable."""
+        if self.candidate_parents is None:
+            return tuple(range(n_vars))
+        for parent in self.candidate_parents:
+            if not 0 <= parent < n_vars:
+                raise ValueError(f"candidate parent {parent} out of range")
+        return tuple(self.candidate_parents)
+
+    def with_updates(self, **changes) -> "LearnerConfig":
+        """A copy with the given fields replaced."""
+        from dataclasses import replace
+
+        return replace(self, **changes)
+
+
+def parents_from_names(names: Sequence[str], var_names: Sequence[str]) -> tuple[int, ...]:
+    """Resolve candidate-parent names to variable indices."""
+    index = {name: i for i, name in enumerate(var_names)}
+    missing = [name for name in names if name not in index]
+    if missing:
+        raise KeyError(f"unknown candidate parents: {missing[:5]}")
+    return tuple(index[name] for name in names)

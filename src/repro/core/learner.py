@@ -1,0 +1,396 @@
+"""The optimized sequential module-network learner.
+
+This is the reproduction's counterpart of the paper's optimized C++
+implementation (Section 4.1): the full three-task Lemon-Tree pipeline with
+NumPy-vectorised scoring.  It serves as ``T_1`` — the best sequential
+implementation — in every scaling metric, and as the source of the work
+traces the parallel projections replay.
+
+Randomness is drawn from named streams so that execution order between
+independent units (GaneSH runs, modules) carries no hidden coupling:
+
+* ``("ganesh", g)`` — the replicated stream of GaneSH run ``g``;
+* ``("modules", module_id)`` — observation clustering and split selection
+  for one module;
+* ``("splits", module_id)`` — the indexed stream addressing each candidate
+  split's private sampling draws by its enumeration index.
+
+The pure-Python :class:`repro.core.reference.ReferenceLearner` and the SPMD
+:class:`repro.parallel.engine.ParallelLearner` consume the same streams in
+the same order, which is what makes all three produce identical networks
+(the paper's consistency requirement, Sections 3 and 4.2).
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.consensus import consensus_clusters
+from repro.core.config import LearnerConfig
+from repro.datatypes import ExpressionMatrix, Module, ModuleNetwork, TaskTimes
+from repro.ganesh.coclustering import SweepHooks, run_ganesh, run_obs_only_ganesh
+from repro.rng.streams import GibbsRandom, IndexedStream, make_stream
+from repro.scoring.split_score import SplitScorer
+from repro.trees.hierarchy import build_tree_structure
+from repro.trees.parents import accumulate_parent_scores
+from repro.trees.splits import score_node_splits, select_node_splits
+
+
+@dataclass
+class LearnResult:
+    """A learned network plus run metadata."""
+
+    network: ModuleNetwork
+    task_times: TaskTimes
+    #: work trace (present when a WorkTrace was passed to ``learn``)
+    trace: object | None = None
+    stats: dict = field(default_factory=dict)
+
+
+class LemonTreeLearner:
+    """Sequential, vectorised Lemon-Tree learner."""
+
+    def __init__(self, config: LearnerConfig | None = None) -> None:
+        self.config = config or LearnerConfig()
+
+    # -- pipeline ---------------------------------------------------------
+    def learn(
+        self, matrix: ExpressionMatrix, seed: int, trace=None
+    ) -> LearnResult:
+        """Learn a module network from ``matrix`` with the given seed.
+
+        ``trace`` may be a :class:`repro.parallel.trace.WorkTrace`; when
+        given, per-superstep work vectors and task wall-times are recorded
+        for parallel run-time projection.
+        """
+        config = self.config
+        data = matrix.values
+
+        t0 = time.perf_counter()
+        samples = self._task_ganesh(data, seed, trace)
+        t1 = time.perf_counter()
+        modules_members = self._task_consensus(samples)
+        t2 = time.perf_counter()
+        modules = self._task_modules(data, modules_members, seed, trace)
+        t3 = time.perf_counter()
+
+        if trace is not None:
+            trace.mark_time("ganesh", t1 - t0)
+            trace.mark_time("consensus", t2 - t1)
+            trace.mark_time("modules", t3 - t2)
+            trace.n_ganesh_runs = config.n_ganesh_runs
+
+        network = ModuleNetwork(modules, matrix.var_names, matrix.n_obs)
+        times = TaskTimes(ganesh=t1 - t0, consensus=t2 - t1, modules=t3 - t2)
+        stats = {
+            "n_modules": len(modules),
+            "module_sizes": [m.size for m in modules],
+            "n_trees": sum(len(m.trees) for m in modules),
+            "n_internal_nodes": sum(
+                len(t.internal_nodes()) for m in modules for t in m.trees
+            ),
+        }
+        return LearnResult(network=network, task_times=times, trace=trace, stats=stats)
+
+    # -- task-level public API ---------------------------------------------
+    # Lemon-Tree is driven task by task in practice (separate invocations
+    # with intermediate files — often separate cluster jobs for the G
+    # GaneSH runs); these entry points expose the same workflow.
+
+    def sample_clusterings(
+        self, matrix: ExpressionMatrix, seed: int, trace=None
+    ) -> list[np.ndarray]:
+        """Task 1 only: the ensemble of GaneSH variable-cluster samples."""
+        return self._task_ganesh(matrix.values, seed, trace)
+
+    def consensus(self, samples: list[np.ndarray]) -> list[list[int]]:
+        """Task 2 only: consensus modules from a clustering ensemble."""
+        return self._task_consensus([np.asarray(s) for s in samples])
+
+    def learn_from_modules(
+        self,
+        matrix: ExpressionMatrix,
+        modules_members: list[list[int]],
+        seed: int,
+        trace=None,
+        checkpoint_dir=None,
+    ) -> LearnResult:
+        """Task 3 only: trees, splits and parents for given modules.
+
+        ``modules_members`` typically comes from :meth:`consensus`, but any
+        disjoint variable grouping (e.g. curated gene sets) is accepted —
+        matching Lemon-Tree's ability to learn regulators for externally
+        provided modules.
+
+        ``checkpoint_dir`` enables resumable execution of this multi-day
+        task (the paper's sequential runs take weeks): each completed
+        module is written to ``module_<id>.json`` and an interrupted run
+        restarted with the same directory skips finished modules.  Because
+        every module consumes its own named random streams, a resumed run
+        produces exactly the network an uninterrupted run would.
+        """
+        seen: set[int] = set()
+        for members in modules_members:
+            for var in members:
+                if not 0 <= var < matrix.n_vars:
+                    raise ValueError(f"module member {var} out of range")
+                if var in seen:
+                    raise ValueError(f"variable {var} appears in two modules")
+                seen.add(var)
+        t0 = time.perf_counter()
+        modules = self._task_modules(
+            matrix.values, modules_members, seed, trace, checkpoint_dir
+        )
+        elapsed = time.perf_counter() - t0
+        if trace is not None:
+            trace.mark_time("modules", elapsed)
+        network = ModuleNetwork(modules, matrix.var_names, matrix.n_obs)
+        return LearnResult(
+            network=network,
+            task_times=TaskTimes(ganesh=0.0, consensus=0.0, modules=elapsed),
+            trace=trace,
+            stats={"n_modules": len(modules)},
+        )
+
+    # -- task 1: GaneSH co-clustering --------------------------------------
+    def _task_ganesh(self, data: np.ndarray, seed: int, trace) -> list[np.ndarray]:
+        config = self.config
+        samples: list[np.ndarray] = []
+        for g in range(config.n_ganesh_runs):
+            rng = GibbsRandom(make_stream(seed, "ganesh", g, backend=config.rng_backend))
+            hooks = _hooks_for(trace, run=g)
+            result = run_ganesh(
+                data,
+                rng,
+                n_update_steps=config.n_update_steps,
+                init_var_clusters=config.resolve_init_clusters(data.shape[0]),
+                prior=config.prior,
+                hooks=hooks,
+            )
+            samples.append(result.var_labels)
+        return samples
+
+    # -- task 2: consensus clustering ---------------------------------------
+    def _task_consensus(self, samples: list[np.ndarray]) -> list[list[int]]:
+        return consensus_clusters(
+            samples,
+            threshold=self.config.consensus_threshold,
+            max_clusters=self.config.max_modules,
+        )
+
+    # -- task 3: learning the modules ----------------------------------------
+    def _task_modules(
+        self,
+        data: np.ndarray,
+        modules_members: list[list[int]],
+        seed: int,
+        trace,
+        checkpoint_dir=None,
+    ) -> list[Module]:
+        config = self.config
+        n_vars = data.shape[0]
+        parents = np.asarray(config.resolve_candidate_parents(n_vars), dtype=np.int64)
+        scorer = SplitScorer(
+            beta_grid=config.beta_grid,
+            max_steps=config.max_sampling_steps,
+            stop_repeats=config.sampling_stop_repeats,
+        )
+        checkpoints = _ModuleCheckpoints(checkpoint_dir, seed, config)
+
+        modules: list[Module] = []
+        for module_id, members in enumerate(modules_members):
+            module = checkpoints.load(module_id, members)
+            if module is None:
+                module = self._learn_one_module(
+                    data, module_id, members, parents, scorer, seed, trace
+                )
+                checkpoints.store(module)
+            modules.append(module)
+        return modules
+
+    def _learn_one_module(
+        self,
+        data: np.ndarray,
+        module_id: int,
+        members: list[int],
+        parents: np.ndarray,
+        scorer: SplitScorer,
+        seed: int,
+        trace,
+    ) -> Module:
+        config = self.config
+        block = data[members]
+        mrng = GibbsRandom(
+            make_stream(seed, "modules", module_id, backend=config.rng_backend)
+        )
+        hooks = _hooks_for(trace)
+        istream = IndexedStream(
+            make_stream(seed, "splits", module_id, backend=config.rng_backend),
+            scorer.draws_per_item,
+        )
+
+        # Step 1: sample observation clusterings, agglomerate into trees.
+        obs_samples = run_obs_only_ganesh(
+            block,
+            mrng,
+            n_update_steps=config.tree_update_steps,
+            burn_in=config.tree_burn_in,
+            prior=config.prior,
+            hooks=hooks,
+        )
+        trees = [
+            build_tree_structure(block, labels, module_id, config.prior, hooks)
+            for labels in obs_samples
+        ]
+
+        # Steps 2-3: score candidate splits, select, aggregate parents.
+        module = Module(module_id=module_id, members=list(members), trees=trees)
+        split_base = 0
+        all_weighted = []
+        all_uniform = []
+        for tree_index, tree in enumerate(trees):
+            for node in tree.internal_nodes():
+                scores = score_node_splits(
+                    data,
+                    module_id,
+                    tree_index,
+                    node,
+                    parents,
+                    scorer,
+                    istream,
+                    split_base,
+                )
+                split_base += scores.n_splits
+                if trace is not None:
+                    trace.record(
+                        "modules.split_scoring",
+                        scores.work_units(),
+                        # The whole phase shares one segmented scan and one
+                        # all-gather (Section 3.2.3); charge them per node so
+                        # the per-p comm term scales with the node count.
+                        n_collectives=1,
+                        words=2 * config.n_splits_per_node,
+                    )
+                weighted, uniform = select_node_splits(
+                    data, scores, mrng, config.n_splits_per_node
+                )
+                node.weighted_splits = weighted
+                node.uniform_splits = uniform
+                all_weighted.extend(weighted)
+                all_uniform.extend(uniform)
+
+        module.weighted_parents = accumulate_parent_scores(all_weighted)
+        module.uniform_parents = accumulate_parent_scores(all_uniform)
+        if trace is not None and split_base:
+            # Learn-Parents: segmented scan + all-gather over selected splits.
+            trace.record(
+                "modules.parents",
+                np.array([len(all_weighted) + len(all_uniform)], dtype=np.float64),
+                n_collectives=2,
+                words=len(all_weighted) + len(all_uniform),
+            )
+        return module
+
+
+class _ModuleCheckpoints:
+    """Per-module checkpoint store for resumable task-3 execution.
+
+    Checkpoints are keyed by (seed, configuration fingerprint, module
+    members): a checkpoint written under different learning parameters or
+    for a different module composition is ignored rather than silently
+    reused.
+    """
+
+    def __init__(self, directory, seed: int, config: LearnerConfig) -> None:
+        from pathlib import Path
+
+        self.directory = Path(directory) if directory is not None else None
+        if self.directory is not None:
+            self.directory.mkdir(parents=True, exist_ok=True)
+        self.fingerprint = {
+            "seed": seed,
+            "rng_backend": config.rng_backend,
+            "tree_update_steps": config.tree_update_steps,
+            "tree_burn_in": config.tree_burn_in,
+            "n_splits_per_node": config.n_splits_per_node,
+            "max_sampling_steps": config.max_sampling_steps,
+            "sampling_stop_repeats": config.sampling_stop_repeats,
+            "beta_grid": list(config.beta_grid),
+            "candidate_parents": (
+                list(config.candidate_parents)
+                if config.candidate_parents is not None
+                else None
+            ),
+        }
+
+    def _path(self, module_id: int):
+        return self.directory / f"module_{module_id}.json"
+
+    def load(self, module_id: int, members: list[int]) -> Module | None:
+        import json
+
+        from repro.core.output import _node_from_dict
+
+        if self.directory is None:
+            return None
+        path = self._path(module_id)
+        if not path.exists():
+            return None
+        payload = json.loads(path.read_text())
+        if payload.get("fingerprint") != self.fingerprint:
+            return None
+        if payload.get("members") != list(members):
+            return None
+        from repro.datatypes import RegressionTree
+
+        module = Module(
+            module_id=module_id,
+            members=list(members),
+            trees=[
+                RegressionTree(module_id=module_id, root=_node_from_dict(tree))
+                for tree in payload["trees"]
+            ],
+            weighted_parents={
+                int(k): float(v) for k, v in payload["weighted_parents"].items()
+            },
+            uniform_parents={
+                int(k): float(v) for k, v in payload["uniform_parents"].items()
+            },
+        )
+        return module
+
+    def store(self, module: Module) -> None:
+        import json
+
+        from repro.core.output import _node_to_dict
+
+        if self.directory is None:
+            return
+        payload = {
+            "fingerprint": self.fingerprint,
+            "members": module.members,
+            "trees": [_node_to_dict(tree.root) for tree in module.trees],
+            "weighted_parents": {
+                str(k): v for k, v in module.weighted_parents.items()
+            },
+            "uniform_parents": {
+                str(k): v for k, v in module.uniform_parents.items()
+            },
+        }
+        path = self._path(module.module_id)
+        tmp = path.with_suffix(".json.tmp")
+        tmp.write_text(json.dumps(payload))
+        tmp.replace(path)  # atomic: a killed run never leaves torn files
+
+
+def _hooks_for(trace, run: int | None = None) -> SweepHooks:
+    if trace is None:
+        return SweepHooks()
+    if run is None:
+        return SweepHooks(record=lambda phase, costs, nc=2: trace.record(phase, costs, nc))
+    return SweepHooks(
+        record=lambda phase, costs, nc=2: trace.record(phase, costs, nc, run=run)
+    )

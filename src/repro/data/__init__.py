@@ -1,0 +1,31 @@
+"""Data substrate: synthetic expression generators and matrix I/O.
+
+The paper's evaluation uses two real data sets (S. cerevisiae RNA-seq,
+5,716 x 2,577; A. thaliana microarray, 18,373 x 5,102) hosted on Zenodo.
+Without network access, :mod:`repro.data.synthetic` generates expression
+matrices with the same statistical structure the learner is sensitive to —
+ground-truth modules, regulator-driven condition responses, heavy-tailed
+noise — at configurable scale, with ``yeast_like`` / ``thaliana_like``
+presets whose shapes are scaled-down versions of the paper's (see
+DESIGN.md, substitutions).  :mod:`repro.data.io` reads and writes the
+tab-separated matrix format Lemon-Tree uses.
+"""
+
+from repro.data.io import read_expression_tsv, write_expression_tsv
+from repro.data.synthetic import (
+    GroundTruth,
+    SyntheticDataset,
+    make_module_dataset,
+    thaliana_like,
+    yeast_like,
+)
+
+__all__ = [
+    "GroundTruth",
+    "SyntheticDataset",
+    "make_module_dataset",
+    "yeast_like",
+    "thaliana_like",
+    "read_expression_tsv",
+    "write_expression_tsv",
+]

@@ -1,0 +1,168 @@
+"""Synthetic module-structured gene-expression generator.
+
+Generates data by the module-network generative process itself (Segal et
+al. 2003): genes are partitioned into ground-truth modules; each module is
+driven by a small set of regulator genes through a regression-tree program
+(threshold tests on regulator expression select a Gaussian leaf for the
+module's mean in each condition); member genes scatter around the module
+mean.  This produces exactly the statistical structure the GaneSH
+co-clustering and the split-scoring posterior respond to, which is what the
+run-time scaling experiments exercise.
+
+The ``yeast_like`` / ``thaliana_like`` presets mirror the paper's two data
+sets at a configurable scale factor (default 1/32 along both axes).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.datatypes import ExpressionMatrix
+
+
+@dataclass(frozen=True)
+class RegulatorProgram:
+    """A depth-1 or depth-2 threshold program for one module."""
+
+    regulators: tuple[int, ...]  # gene indices acting as regulators
+    thresholds: tuple[float, ...]  # one threshold per regulator
+    leaf_means: tuple[float, ...]  # 2 ** len(regulators) leaf means
+
+
+@dataclass
+class GroundTruth:
+    """The generative structure behind a synthetic data set."""
+
+    module_of_gene: np.ndarray  # ground-truth module label per gene
+    programs: list[RegulatorProgram] = field(default_factory=list)
+
+    @property
+    def n_modules(self) -> int:
+        return len(self.programs)
+
+    def regulators_of(self, module: int) -> tuple[int, ...]:
+        return self.programs[module].regulators
+
+
+@dataclass
+class SyntheticDataset:
+    """An expression matrix plus its generative ground truth."""
+
+    matrix: ExpressionMatrix
+    truth: GroundTruth
+    name: str = "synthetic"
+
+
+def make_module_dataset(
+    n_vars: int,
+    n_obs: int,
+    n_modules: int | None = None,
+    n_regulators: int | None = None,
+    noise: float = 0.4,
+    heavy_tail: float = 0.15,
+    seed: int = 0,
+    name: str = "synthetic",
+) -> SyntheticDataset:
+    """Generate a module-structured expression matrix.
+
+    Parameters
+    ----------
+    n_vars, n_obs:
+        Matrix shape (genes x conditions).
+    n_modules:
+        Ground-truth module count; default ``max(2, n_vars // 12)`` mirrors
+        the paper's observed module scaling (28-39 modules at n=1000 growing
+        sublinearly to 111-170 at n=5716).
+    n_regulators:
+        Size of the regulator pool; regulators are the first genes of the
+        matrix.  Default ``max(2, n_vars // 10)``.
+    noise:
+        Standard deviation of per-gene scatter around the module mean.
+    heavy_tail:
+        Fraction of entries receiving a 3x noise kick (RNA-seq-style
+        outliers).
+    """
+    if n_vars < 4 or n_obs < 4:
+        raise ValueError("need at least 4 variables and 4 observations")
+    rng = np.random.default_rng(seed)
+    if n_modules is None:
+        n_modules = max(2, n_vars // 12)
+    n_modules = min(n_modules, n_vars)
+    if n_regulators is None:
+        n_regulators = max(2, n_vars // 10)
+    n_regulators = min(n_regulators, n_vars)
+
+    # Regulators get independent standardized expression profiles.
+    regulator_expr = rng.standard_normal((n_regulators, n_obs))
+
+    # Gene -> module assignment: regulators are spread round-robin so every
+    # module contains candidate regulators too (self-regulation is allowed,
+    # as in the paper: acyclicity is not enforced).
+    module_of_gene = rng.integers(0, n_modules, size=n_vars)
+    # Ensure no empty modules.
+    for module in range(n_modules):
+        if not (module_of_gene == module).any():
+            module_of_gene[rng.integers(0, n_vars)] = module
+
+    programs: list[RegulatorProgram] = []
+    values = np.empty((n_vars, n_obs), dtype=np.float64)
+    for module in range(n_modules):
+        depth = int(rng.integers(1, 3))  # 1 or 2 regulators per module
+        regs = tuple(int(r) for r in rng.choice(n_regulators, size=depth, replace=False))
+        thresholds = tuple(float(t) for t in rng.normal(0.0, 0.5, size=depth))
+        n_leaves = 2**depth
+        leaf_means = tuple(float(v) for v in rng.normal(0.0, 1.5, size=n_leaves))
+        programs.append(RegulatorProgram(regs, thresholds, leaf_means))
+
+        # Condition -> leaf via threshold tests on regulator expression.
+        leaf_index = np.zeros(n_obs, dtype=np.int64)
+        for d, (reg, thr) in enumerate(zip(regs, thresholds)):
+            leaf_index = leaf_index * 2 + (regulator_expr[reg] > thr).astype(np.int64)
+        module_mean = np.asarray(leaf_means)[leaf_index]
+
+        members = np.flatnonzero(module_of_gene == module)
+        offsets = rng.normal(0.0, 0.3, size=members.size)
+        scatter = rng.normal(0.0, noise, size=(members.size, n_obs))
+        values[members] = module_mean[None, :] + offsets[:, None] + scatter
+
+    # Regulator genes report their own profiles (they drive, not follow).
+    values[:n_regulators] = regulator_expr + rng.normal(
+        0.0, noise * 0.5, size=regulator_expr.shape
+    )
+
+    # Heavy-tailed measurement outliers.
+    if heavy_tail > 0:
+        mask = rng.random((n_vars, n_obs)) < heavy_tail
+        values = values + mask * rng.normal(0.0, 3.0 * noise, size=values.shape)
+
+    matrix = ExpressionMatrix(
+        values,
+        var_names=[f"G{i:05d}" for i in range(n_vars)],
+        obs_names=[f"C{j:05d}" for j in range(n_obs)],
+    )
+    return SyntheticDataset(
+        matrix=matrix,
+        truth=GroundTruth(module_of_gene=module_of_gene, programs=programs),
+        name=name,
+    )
+
+
+#: paper shapes: S. cerevisiae 5716 x 2577, A. thaliana 18373 x 5102
+YEAST_SHAPE = (5716, 2577)
+THALIANA_SHAPE = (18373, 5102)
+
+
+def yeast_like(scale: float = 1 / 32, seed: int = 7) -> SyntheticDataset:
+    """A scaled-down S.-cerevisiae-shaped data set (Tchourine et al. role)."""
+    n = max(8, round(YEAST_SHAPE[0] * scale))
+    m = max(8, round(YEAST_SHAPE[1] * scale))
+    return make_module_dataset(n, m, seed=seed, name=f"yeast-like[{n}x{m}]")
+
+
+def thaliana_like(scale: float = 1 / 32, seed: int = 11) -> SyntheticDataset:
+    """A scaled-down A.-thaliana-shaped data set (development microarrays)."""
+    n = max(8, round(THALIANA_SHAPE[0] * scale))
+    m = max(8, round(THALIANA_SHAPE[1] * scale))
+    return make_module_dataset(n, m, seed=seed, name=f"thaliana-like[{n}x{m}]")

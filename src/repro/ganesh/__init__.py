@@ -1,0 +1,20 @@
+"""GaneSH Gibbs-sampler co-clustering (Section 2.2.1).
+
+GaneSH (Joshi et al. 2008) performs two-way clustering of variables and
+observations.  :mod:`repro.ganesh.state` maintains the co-clustering with
+incremental sufficient statistics so each Gibbs move is scored in O(m + L)
+instead of O(n m); :mod:`repro.ganesh.coclustering` drives the sweeps of
+Algorithm 3 (random initialization, variable reassign/merge, per-cluster
+observation reassign/merge).
+"""
+
+from repro.ganesh.coclustering import GaneshResult, run_ganesh, run_obs_only_ganesh
+from repro.ganesh.state import CoClusterState, ObsClustering
+
+__all__ = [
+    "CoClusterState",
+    "ObsClustering",
+    "GaneshResult",
+    "run_ganesh",
+    "run_obs_only_ganesh",
+]

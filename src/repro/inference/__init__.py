@@ -1,0 +1,26 @@
+"""Inference with learned module networks.
+
+A module network is a generative model (Section 2.1 of the paper: a
+parameter-sharing Bayesian network): each module's regression tree routes a
+condition to a leaf according to the parent splits, and the leaf holds a
+Gaussian over the module members' expression.  This package makes learned
+networks *usable* as such models:
+
+* :mod:`repro.inference.cpd` — leaf routing and posterior-predictive
+  distributions fitted from training data;
+* :mod:`repro.inference.likelihood` — held-out data log-likelihood, the
+  standard evaluation of module-network quality (Segal et al. 2005 select
+  models by test-set likelihood);
+* sampling new conditions from the fitted model.
+"""
+
+from repro.inference.cpd import FittedModule, FittedNetwork, fit_network
+from repro.inference.likelihood import holdout_log_likelihood, train_test_split_obs
+
+__all__ = [
+    "FittedNetwork",
+    "FittedModule",
+    "fit_network",
+    "holdout_log_likelihood",
+    "train_test_split_obs",
+]

@@ -1,0 +1,269 @@
+"""Fitted conditional probability distributions of a learned network.
+
+Each module's regression tree is turned into an executable CPD:
+
+* **routing** — an unseen condition descends the tree by its regulator
+  values: at an internal node with best split ``(X_l, v)``, it goes to the
+  left child when ``x_l <= v`` (the low side, matching the margin
+  orientation used during learning) and right otherwise.  Nodes without a
+  retained split cannot discriminate, so they act as pooled leaves.
+* **leaf predictive** — each effective leaf carries the normal-gamma
+  posterior fitted from the training values that reached it; unseen values
+  are scored/sampled with the resulting student-t posterior predictive.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.datatypes import ExpressionMatrix, ModuleNetwork, TreeNode
+from repro.scoring.normal_gamma import DEFAULT_PRIOR, NormalGammaPrior
+
+
+@dataclass(frozen=True)
+class LeafPredictive:
+    """Student-t posterior predictive of one effective leaf."""
+
+    mu: float  # posterior mean
+    df: float  # degrees of freedom (2 * alpha_N)
+    scale: float  # scale parameter (sqrt of the predictive variance factor)
+
+    def log_pdf(self, values: np.ndarray) -> float:
+        values = np.asarray(values, dtype=np.float64)
+        z = (values - self.mu) / self.scale
+        nu = self.df
+        out = (
+            math.lgamma((nu + 1) / 2)
+            - math.lgamma(nu / 2)
+            - 0.5 * math.log(nu * math.pi)
+            - math.log(self.scale)
+            - (nu + 1) / 2 * np.log1p(z * z / nu)
+        )
+        return float(np.sum(out))
+
+    def sample(self, size: int, rng: np.random.Generator) -> np.ndarray:
+        return self.mu + self.scale * rng.standard_t(self.df, size=size)
+
+    @property
+    def variance(self) -> float:
+        if self.df <= 2:
+            return float("inf")
+        return self.scale**2 * self.df / (self.df - 2)
+
+
+def _leaf_predictive(
+    values: np.ndarray, prior: NormalGammaPrior
+) -> LeafPredictive:
+    v = np.asarray(values, dtype=np.float64).ravel()
+    n = float(v.size)
+    xbar = float(v.mean()) if n else prior.mu0
+    ss = float(((v - xbar) ** 2).sum()) if n else 0.0
+    lam_n = prior.lambda0 + n
+    alpha_n = prior.alpha0 + n / 2.0
+    beta_n = (
+        prior.beta0
+        + ss / 2.0
+        + prior.lambda0 * n * (xbar - prior.mu0) ** 2 / (2.0 * lam_n)
+    )
+    mu_n = (prior.lambda0 * prior.mu0 + n * xbar) / lam_n
+    scale_sq = beta_n * (lam_n + 1.0) / (alpha_n * lam_n)
+    return LeafPredictive(mu=mu_n, df=2.0 * alpha_n, scale=math.sqrt(scale_sq))
+
+
+@dataclass
+class _RoutingNode:
+    """One executable node: either a decision or an effective leaf."""
+
+    predictive: LeafPredictive
+    parent: int | None = None  # split variable (None -> effective leaf)
+    value: float = 0.0
+    left: "._RoutingNode | None" = None
+    right: "._RoutingNode | None" = None
+
+    def route(self, condition: np.ndarray) -> LeafPredictive:
+        node = self
+        while node.parent is not None:
+            node = node.left if condition[node.parent] <= node.value else node.right
+        return node.predictive
+
+
+@dataclass
+class FittedModule:
+    """An executable CPD for one module."""
+
+    module_id: int
+    members: list[int]
+    root: _RoutingNode
+    #: regulators the routing actually consults
+    regulators: set[int] = field(default_factory=set)
+
+    def predictive_for(self, condition: np.ndarray) -> LeafPredictive:
+        """The leaf distribution an (n_vars,) condition vector routes to."""
+        return self.root.route(condition)
+
+    def log_likelihood(self, condition: np.ndarray) -> float:
+        """Log-likelihood of the members' values in one condition, given
+        the regulator values in the same condition."""
+        leaf = self.predictive_for(condition)
+        return leaf.log_pdf(condition[self.members])
+
+
+class FittedNetwork:
+    """All module CPDs of a learned network, fitted on training data."""
+
+    def __init__(self, modules: list[FittedModule], n_vars: int) -> None:
+        self.modules = modules
+        self.n_vars = n_vars
+
+    def log_likelihood(self, matrix: ExpressionMatrix) -> float:
+        """Total conditional log-likelihood of a data set (regulators
+        observed), summed over conditions and modules."""
+        if matrix.n_vars != self.n_vars:
+            raise ValueError("matrix has a different variable count")
+        total = 0.0
+        for j in range(matrix.n_obs):
+            condition = matrix.values[:, j]
+            for module in self.modules:
+                if module.members:
+                    total += module.log_likelihood(condition)
+        return total
+
+    def per_condition_log_likelihood(self, matrix: ExpressionMatrix) -> np.ndarray:
+        out = np.zeros(matrix.n_obs)
+        for j in range(matrix.n_obs):
+            condition = matrix.values[:, j]
+            out[j] = sum(
+                m.log_likelihood(condition) for m in self.modules if m.members
+            )
+        return out
+
+    def sample(
+        self, n_conditions: int, rng: np.random.Generator, module_order: list[int]
+    ) -> np.ndarray:
+        """Ancestral sampling of new conditions.
+
+        ``module_order`` must be a topological order of the module graph
+        (use :func:`repro.analysis.acyclicity.make_acyclic` first if the
+        learned network has cycles).  Returns an (n_vars, n_conditions)
+        matrix.
+        """
+        by_id = {m.module_id: m for m in self.modules}
+        values = np.zeros((self.n_vars, n_conditions))
+        generated: set[int] = set()
+        for module_id in module_order:
+            module = by_id[module_id]
+            for j in range(n_conditions):
+                leaf = module.predictive_for(values[:, j])
+                values[np.asarray(module.members, dtype=np.int64), j] = leaf.sample(
+                    len(module.members), rng
+                )
+            generated.update(module.members)
+        if len(generated) != sum(len(m.members) for m in self.modules):
+            raise ValueError("module_order must cover every module once")
+        return values
+
+
+def fit_network(
+    network: ModuleNetwork,
+    training: ExpressionMatrix,
+    prior: NormalGammaPrior = DEFAULT_PRIOR,
+    min_routing_accuracy: float = 0.75,
+) -> FittedNetwork:
+    """Fit executable CPDs from the training data the network was learned on.
+
+    Tree node observation sets index the training matrix's conditions; each
+    effective leaf's predictive pools the module members' training values
+    at those conditions.  The first regression tree of each module is used
+    (``R = 1`` in the paper's experimental configuration).
+
+    ``min_routing_accuracy`` guards against weak regulators: a node's split
+    is only used for routing if it reproduces the tree's own left/right
+    partition of the *training* observations with at least this accuracy;
+    otherwise the node collapses to a pooled leaf (routing by an
+    uninformative split is strictly noise, and the leaf predictives are
+    sharper than the pooled one, so mis-routing is expensive).  Set to 0 to
+    always route, 1.0+ to disable routing entirely (the null model).
+    """
+    if network.n_obs != training.n_obs:
+        raise ValueError(
+            "training matrix does not match the network's observation count"
+        )
+    fitted = []
+    for module in network.modules:
+        members = np.asarray(module.members, dtype=np.int64)
+        if module.trees and module.members:
+            root = _fit_node(
+                module.trees[0].root, training, members, prior, min_routing_accuracy
+            )
+            regulators = _collect_regulators(root)
+        else:
+            values = training.values[members] if module.members else np.zeros(0)
+            root = _RoutingNode(predictive=_leaf_predictive(values, prior))
+            regulators = set()
+        fitted.append(
+            FittedModule(
+                module_id=module.module_id,
+                members=list(module.members),
+                root=root,
+                regulators=regulators,
+            )
+        )
+    return FittedNetwork(fitted, network.n_vars)
+
+
+def _best_split(node: TreeNode):
+    """The highest-posterior retained split of a node, if any."""
+    if not node.weighted_splits:
+        return None
+    return max(node.weighted_splits, key=lambda s: s.posterior)
+
+
+def _routing_accuracy(node: TreeNode, split, training: ExpressionMatrix) -> float:
+    """Fraction of the node's training observations the split routes to
+    the child the tree actually assigned them to."""
+    obs = node.observations
+    assert node.left is not None
+    goes_left = training.values[split.parent, obs] <= split.value
+    is_left = np.isin(obs, node.left.observations)
+    return float((goes_left == is_left).mean())
+
+
+def _fit_node(
+    node: TreeNode,
+    training: ExpressionMatrix,
+    members: np.ndarray,
+    prior: NormalGammaPrior,
+    min_routing_accuracy: float,
+) -> _RoutingNode:
+    values = training.values[np.ix_(members, node.observations)]
+    predictive = _leaf_predictive(values, prior)
+    split = None if node.is_leaf else _best_split(node)
+    if split is not None and min_routing_accuracy > 0:
+        if _routing_accuracy(node, split, training) < min_routing_accuracy:
+            split = None
+    if split is None:
+        # No retained split (or a split too weak to reproduce the node's
+        # own partition): the node cannot discriminate -> effective leaf.
+        return _RoutingNode(predictive=predictive)
+    assert node.left is not None and node.right is not None
+    return _RoutingNode(
+        predictive=predictive,
+        parent=split.parent,
+        value=split.value,
+        left=_fit_node(node.left, training, members, prior, min_routing_accuracy),
+        right=_fit_node(node.right, training, members, prior, min_routing_accuracy),
+    )
+
+
+def _collect_regulators(root: _RoutingNode) -> set[int]:
+    out: set[int] = set()
+    stack = [root]
+    while stack:
+        node = stack.pop()
+        if node.parent is not None:
+            out.add(node.parent)
+            stack.extend([node.left, node.right])
+    return out

@@ -1,0 +1,37 @@
+"""The simulated distributed-memory machine and parallel learner.
+
+mpi4py is not available in this environment (see DESIGN.md), so the paper's
+MPI implementation is reproduced with three cooperating layers:
+
+* :mod:`repro.parallel.comm` — a thread-based message-passing communicator
+  that really executes ``p`` SPMD ranks with barrier-synchronised
+  collectives (bcast, all-reduce, all-gather, scan, segmented scan).
+* :mod:`repro.parallel.engine` — the SPMD parallel learner implementing
+  Algorithms 1-6 against that communicator: replicated state, block-
+  partitioned score computations, distributed sampling oracles.  Its output
+  is bit-identical to the sequential learner for every ``p`` — the paper's
+  central consistency property.
+* :mod:`repro.parallel.trace` + :mod:`repro.parallel.costmodel` — per-item
+  work traces recorded during a (sequential) run, projected to simulated
+  run-times ``T_p`` for arbitrary ``p`` (up to the paper's 4096) under a
+  calibrated compute rate and a ``(tau + mu * words) * log2(p)`` collective
+  model.  This is what regenerates the strong-scaling figures.
+* :mod:`repro.parallel.pool` — a multiprocessing backend that fans the
+  dominant split-scoring phase out across local cores for real wall-clock
+  speedups.
+"""
+
+from repro.parallel.comm import SerialComm, ThreadComm, run_spmd
+from repro.parallel.costmodel import MachineModel
+from repro.parallel.engine import ParallelLearner
+from repro.parallel.trace import WorkTrace, project_time
+
+__all__ = [
+    "ThreadComm",
+    "SerialComm",
+    "run_spmd",
+    "MachineModel",
+    "WorkTrace",
+    "project_time",
+    "ParallelLearner",
+]

@@ -1,0 +1,130 @@
+"""Adapter exposing a real MPI communicator through this package's comm API.
+
+The SPMD learner (:mod:`repro.parallel.engine`) is written against the
+small collective interface of :class:`repro.parallel.comm.ThreadComm`.
+This adapter implements the same interface over ``mpi4py``, so on an
+actual cluster the identical learner code runs under real MPI::
+
+    # mpirun -n 64 python my_driver.py
+    from mpi4py import MPI
+    from repro.parallel.mpi_adapter import MpiComm
+    from repro.parallel.engine import ParallelLearner
+
+    comm = MpiComm(MPI.COMM_WORLD)
+    network, work = ParallelLearner(config).learn_with_comm(comm, matrix, seed)
+
+mpi4py is not a dependency of this package (and is absent in the
+reproduction environment — see DESIGN.md); the adapter imports it lazily
+and raises a clear error if unavailable.  The contract tests in
+``tests/test_mpi_adapter.py`` run the adapter against mpi4py when present
+and otherwise verify interface parity statically.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable
+
+import numpy as np
+
+
+class MpiComm:
+    """One rank's handle on an mpi4py communicator."""
+
+    def __init__(self, mpi_comm=None) -> None:
+        if mpi_comm is None:
+            try:
+                from mpi4py import MPI
+            except ImportError as exc:  # pragma: no cover - env without MPI
+                raise RuntimeError(
+                    "mpi4py is not installed; MpiComm requires a real MPI "
+                    "environment (use ThreadComm/SerialComm otherwise)"
+                ) from exc
+            mpi_comm = MPI.COMM_WORLD
+        self._comm = mpi_comm
+        self.rank = int(mpi_comm.Get_rank())
+        self.size = int(mpi_comm.Get_size())
+
+    # -- collectives (pickle-based lowercase mpi4py API: the payloads here
+    # are small control values; bulk arrays use allgather_concat below) ---
+    def barrier(self) -> None:
+        self._comm.Barrier()
+
+    def bcast(self, value: Any, root: int = 0) -> Any:
+        return self._comm.bcast(value, root=root)
+
+    def allgather(self, value: Any) -> list[Any]:
+        return self._comm.allgather(value)
+
+    def gather(self, value: Any, root: int = 0) -> list[Any] | None:
+        return self._comm.gather(value, root=root)
+
+    def allreduce(self, value: Any, op: Callable[[Any, Any], Any] | None = None) -> Any:
+        if op is None:
+            parts = self._comm.allgather(value)
+            result = parts[0]
+            for part in parts[1:]:
+                result = result + part
+            return result
+        # Deterministic rank-ordered reduction (matches ThreadComm): MPI's
+        # built-in ops don't guarantee an evaluation order, so reduce from
+        # the gathered list.
+        parts = self._comm.allgather(value)
+        result = parts[0]
+        for part in parts[1:]:
+            result = op(result, part)
+        return result
+
+    def allreduce_max_with_index(
+        self, value: float, payload: Any = None
+    ) -> tuple[float, int, Any]:
+        parts = self._comm.allgather((value, self.rank, payload))
+        return max(parts, key=lambda item: (item[0], -item[1]))
+
+    def exscan(self, value: Any) -> Any:
+        parts = self._comm.allgather(value)
+        if self.rank == 0:
+            if isinstance(value, np.ndarray):
+                return np.zeros_like(value)
+            return type(value)()
+        result = parts[0]
+        for part in parts[1 : self.rank]:
+            result = result + part
+        return result
+
+    def allgather_concat(self, array: np.ndarray) -> np.ndarray:
+        """Allgatherv of per-rank arrays concatenated in rank order."""
+        array = np.ascontiguousarray(array)
+        counts = self._comm.allgather(int(array.size))
+        if sum(counts) == 0:
+            return np.zeros(0, dtype=array.dtype)
+        try:
+            from mpi4py import MPI  # buffer path when dtype maps to MPI
+
+            recv = np.empty(sum(counts), dtype=array.dtype)
+            self._comm.Allgatherv(array, (recv, counts))
+            return recv
+        except Exception:
+            parts = self._comm.allgather(array)
+            return np.concatenate([np.asarray(p) for p in parts])
+
+    def split(self, color: Any) -> "MpiComm":
+        colors = self._comm.allgather(color)
+        distinct = sorted(set(colors), key=repr)
+        return MpiComm(self._comm.Split(distinct.index(color), self.rank))
+
+
+#: names every communicator implementation must provide (contract checked
+#: in tests so the engine stays runnable on all of them)
+COMM_INTERFACE = (
+    "rank",
+    "size",
+    "barrier",
+    "bcast",
+    "allgather",
+    "gather",
+    "allreduce",
+    "allreduce_max_with_index",
+    "exscan",
+    "allgather_concat",
+    "split",
+)

@@ -1,0 +1,115 @@
+"""Distributed primitives: block distribution, sampling oracles, scans.
+
+Implements the oracle functions of Section 3.1 on top of a communicator:
+
+* :func:`select_unif_rand` — uniform selection from a (logically)
+  distributed list.  Because every rank holds an identical replicated
+  random stream (Section 4.2), no random bits travel on the network; the
+  collective in the paper's cost model corresponds to the stream-state
+  synchronisation this discipline makes implicit.
+* :func:`select_wtd_rand_gather` — weighted selection by all-gathering the
+  block-distributed score vector and drawing with the replicated stream;
+  bit-identical to the sequential ``weighted_choice_logs``.  This is the
+  variant the SPMD engine uses for its consistency guarantee.
+* :func:`select_wtd_rand_scan` — the paper's partial-sum formulation
+  (local weight sums + exclusive scan + one replicated uniform).  Touches
+  only O(1) words per rank but its floating-point summation order differs
+  from the sequential cumsum, so it agrees with the gather variant except
+  on draws landing within rounding distance of a block boundary.
+
+:func:`segmented_scan` is the serial kernel of the segmented parallel scan
+used to turn per-split posteriors into per-node sampling weights in one
+pass (Section 3.2.3, implementation note).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.parallel.costmodel import block_range
+from repro.rng.streams import GibbsRandom, quantize_logs
+
+
+def select_unif_rand(rng: GibbsRandom, n_items: int) -> int:
+    """Uniform random element of a distributed list of ``n_items``."""
+    return rng.randint(n_items)
+
+
+def select_wtd_rand_gather(comm, rng: GibbsRandom, local_scores: np.ndarray) -> int:
+    """Weighted selection via score all-gather (consistency-exact variant)."""
+    scores = comm.allgather_concat(np.asarray(local_scores, dtype=np.float64))
+    return rng.weighted_choice_logs(scores)
+
+
+def select_wtd_rand_scan(comm, rng: GibbsRandom, local_scores: np.ndarray) -> int:
+    """Weighted selection via partial sums (the paper's O(|B|/p) oracle).
+
+    Every rank computes the sum of its block's weights; an exclusive scan
+    and an all-reduce provide the prefix offset and the total; one
+    replicated uniform then locates the chosen element, and an all-reduce
+    (min over claiming ranks) publishes its global index.
+    """
+    local = quantize_logs(np.asarray(local_scores, dtype=np.float64))
+    sizes = comm.allgather(int(local.size))
+    n_total = int(sum(sizes))
+    base_index = int(sum(sizes[: comm.rank]))
+    last_nonempty = max((r for r, s in enumerate(sizes) if s), default=-1)
+
+    finite = np.isfinite(local)
+    local_max = float(local[finite].max()) if finite.any() else -np.inf
+    global_max = comm.allreduce(local_max, op=max)
+
+    if not np.isfinite(global_max):
+        # All options impossible everywhere: uniform fallback, matching
+        # GibbsRandom.weighted_choice_logs (consumes exactly one uniform).
+        return rng.randint(n_total)
+
+    weights = np.where(finite, np.exp(local - global_max), 0.0)
+    local_sum = float(weights.sum())
+    prefix = comm.exscan(local_sum)
+    total = comm.allreduce(local_sum)
+
+    u = rng.uniform() * total
+    chosen = np.inf
+    if local.size and prefix <= u < prefix + local_sum:
+        cum = np.cumsum(weights)
+        local_idx = int(np.searchsorted(cum, u - prefix, side="right"))
+        chosen = base_index + min(local_idx, local.size - 1)
+    # The last non-empty rank claims draws that round past the total.
+    if comm.rank == last_nonempty and u >= prefix + local_sum and local.size:
+        chosen = base_index + local.size - 1
+    result = comm.allreduce(chosen, op=min)
+    return int(result)
+
+
+def segmented_scan(values: np.ndarray, segment_ids: np.ndarray) -> np.ndarray:
+    """Inclusive prefix sums restarting at every segment boundary.
+
+    ``segment_ids`` must be non-decreasing (contiguous segments, as the
+    candidate-split list guarantees by construction).
+    """
+    values = np.asarray(values, dtype=np.float64)
+    segment_ids = np.asarray(segment_ids)
+    if values.shape != segment_ids.shape:
+        raise ValueError("values and segment_ids must align")
+    if values.size == 0:
+        return values.copy()
+    if (np.diff(segment_ids) < 0).any():
+        raise ValueError("segment_ids must be non-decreasing")
+    cum = np.cumsum(values)
+    starts = np.flatnonzero(np.diff(segment_ids) != 0) + 1
+    # Offset of each segment = running total just before its first element.
+    seg_offsets = np.concatenate([[0.0], cum[starts - 1]])
+    seg_index = np.zeros(values.size, dtype=np.int64)
+    seg_index[starts] = 1
+    seg_index = np.cumsum(seg_index)
+    return cum - seg_offsets[seg_index]
+
+
+__all__ = [
+    "block_range",
+    "select_unif_rand",
+    "select_wtd_rand_gather",
+    "select_wtd_rand_scan",
+    "segmented_scan",
+]

@@ -1,0 +1,113 @@
+"""Counter-based splittable stream built on NumPy's Philox generator.
+
+Philox is a counter-based generator: output ``i`` of a keyed stream is a pure
+function of ``(key, i)``, so jumping to an arbitrary offset costs O(1)
+(``BitGenerator.advance``).  This is the property the paper relies on for
+block-splitting the random stream across processors in O(1) time (Section
+4.2, citing Bauke & Mertens).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+from numpy.random import Generator, Philox
+
+_UINT64_MASK = (1 << 64) - 1
+
+
+def derive_key(seed: int, *path: object) -> int:
+    """Derive a 64-bit subkey from ``seed`` and a hashable path.
+
+    Distinct paths give statistically independent Philox keys.  The
+    derivation is a fixed splitmix64-style mix so it is stable across runs
+    and platforms (``hash()`` would be salted).
+    """
+    z = seed & _UINT64_MASK
+    for part in path:
+        data = repr(part).encode("utf-8")
+        for byte in data:
+            z = (z ^ byte) * 0x100000001B3 & _UINT64_MASK
+        # splitmix64 finalizer
+        z = (z + 0x9E3779B97F4A7C15) & _UINT64_MASK
+        z = ((z ^ (z >> 30)) * 0xBF58476D1CE4E5B9) & _UINT64_MASK
+        z = ((z ^ (z >> 27)) * 0x94D049BB133111EB) & _UINT64_MASK
+        z = z ^ (z >> 31)
+    return z
+
+
+class PhiloxStream:
+    """A keyed, counter-addressable stream of uniforms in ``[0, 1)``.
+
+    Supports both sequential consumption (:meth:`next_uniform`,
+    :meth:`next_uniforms`) and O(1) random access to a block of draws by
+    global offset (:meth:`block`), which is what "block splitting" a stream
+    means: rank ``k`` of ``p`` obtains the draws its work items would have
+    consumed sequentially, without generating the preceding ones.
+    """
+
+    #: draws consumed per uniform (one 64-bit word each)
+    name = "philox"
+
+    def __init__(self, seed: int, *path: object, offset: int = 0) -> None:
+        self._seed = int(seed)
+        self._path = tuple(path)
+        self._key = derive_key(self._seed, *self._path)
+        self._offset = int(offset)
+
+    # -- construction ---------------------------------------------------
+    def split(self, *path: object) -> "PhiloxStream":
+        """Return an independent child stream identified by ``path``."""
+        return PhiloxStream(self._seed, *self._path, *path)
+
+    def clone(self) -> "PhiloxStream":
+        return PhiloxStream(self._seed, *self._path, offset=self._offset)
+
+    # -- state ----------------------------------------------------------
+    @property
+    def offset(self) -> int:
+        """Number of uniforms consumed so far (the stream position)."""
+        return self._offset
+
+    def jump_to(self, offset: int) -> None:
+        """Reposition the stream at absolute draw index ``offset`` (O(1))."""
+        self._offset = int(offset)
+
+    def _draws_at(self, offset: int, count: int) -> np.ndarray:
+        # Philox emits 4 x 64-bit words per counter increment and
+        # Generator.random consumes one word per double, so draw index
+        # ``offset`` lives at counter ``offset // 4``, word ``offset % 4``.
+        # Setting the counter directly is the O(1) jump the paper's
+        # block-splitting requires.
+        bg = Philox(key=self._key)
+        quot, rem = divmod(int(offset), 4)
+        if quot:
+            state = bg.state
+            state["state"]["counter"][0] = quot
+            bg.state = state
+        out = Generator(bg).random(rem + int(count))
+        return out[rem:] if rem else out
+
+    # -- draws ----------------------------------------------------------
+    def next_uniform(self) -> float:
+        out = self._draws_at(self._offset, 1)
+        self._offset += 1
+        return float(out[0])
+
+    def next_uniforms(self, count: int) -> np.ndarray:
+        out = self._draws_at(self._offset, int(count))
+        self._offset += int(count)
+        return out
+
+    def block(self, start: int, count: int) -> np.ndarray:
+        """Uniforms at absolute indices ``[start, start + count)``.
+
+        Does not move the sequential position; O(1) setup regardless of
+        ``start``.
+        """
+        return self._draws_at(int(start), int(count))
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"PhiloxStream(seed={self._seed}, path={self._path!r}, "
+            f"offset={self._offset})"
+        )

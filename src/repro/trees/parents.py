@@ -1,0 +1,30 @@
+"""Module parent scores from selected splits (Algorithm 6, Learn-Parents).
+
+The parents of a module are the variables appearing in any split assigned to
+any node of any of the module's regression trees.  A parent's score is the
+average of the posterior probabilities of its splits, weighted by the number
+of observations at the split's node (Section 2.2.3, step 3).  Weighted and
+uniform selections are aggregated separately — the uniform set is the random
+control used downstream to assess parent significance.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable
+
+from repro.datatypes import Split
+
+
+def accumulate_parent_scores(splits: Iterable[Split]) -> dict[int, float]:
+    """Observation-weighted mean posterior per parent variable."""
+    weight_sum: dict[int, float] = {}
+    score_sum: dict[int, float] = {}
+    for split in splits:
+        weight = float(split.n_obs)
+        score_sum[split.parent] = score_sum.get(split.parent, 0.0) + split.posterior * weight
+        weight_sum[split.parent] = weight_sum.get(split.parent, 0.0) + weight
+    return {
+        parent: score_sum[parent] / weight_sum[parent]
+        for parent in sorted(score_sum)
+        if weight_sum[parent] > 0
+    }

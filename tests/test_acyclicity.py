@@ -1,0 +1,81 @@
+"""Tests for the acyclicity post-processing (the paper's deferred step)."""
+
+import networkx as nx
+import pytest
+
+from repro.analysis.acyclicity import make_acyclic
+from repro.datatypes import Module, ModuleNetwork
+
+
+def _cyclic_network():
+    """M0 <-> M1 two-cycle plus a self-loop on M2."""
+    m0 = Module(module_id=0, members=[0, 1], weighted_parents={2: 0.9})
+    m1 = Module(module_id=1, members=[2, 3], weighted_parents={0: 0.2})
+    m2 = Module(module_id=2, members=[4], weighted_parents={4: 0.5, 1: 0.3})
+    return ModuleNetwork([m0, m1, m2], ["a", "b", "c", "d", "e"], n_obs=6)
+
+
+class TestMakeAcyclic:
+    def test_result_is_acyclic(self):
+        cleaned, _removed = make_acyclic(_cyclic_network())
+        assert nx.is_directed_acyclic_graph(cleaned.module_graph())
+        assert cleaned.feedback_edges() == []
+
+    def test_weakest_edge_cut(self):
+        """The M0->M1 edge (mass 0.2) is weaker than M1->M0 (mass 0.9)."""
+        cleaned, removed = make_acyclic(_cyclic_network())
+        cut = {(e.source_module, e.target_module) for e in removed}
+        assert (0, 1) in cut
+        assert (1, 0) not in cut
+
+    def test_self_loops_always_cut(self):
+        _cleaned, removed = make_acyclic(_cyclic_network())
+        assert any(e.source_module == e.target_module == 2 for e in removed)
+
+    def test_parents_dropped_from_modules(self):
+        cleaned, removed = make_acyclic(_cyclic_network())
+        # M1 lost its parent 0 (a member of M0); M2 lost its self parent 4.
+        assert 0 not in cleaned.modules[1].weighted_parents
+        assert 4 not in cleaned.modules[2].weighted_parents
+        # Strong edges survive.
+        assert 2 in cleaned.modules[0].weighted_parents
+
+    def test_removed_edges_report_mass(self):
+        _cleaned, removed = make_acyclic(_cyclic_network())
+        for edge in removed:
+            assert edge.score_mass >= 0
+            assert edge.parents
+
+    def test_acyclic_input_unchanged(self):
+        m0 = Module(module_id=0, members=[0], weighted_parents={})
+        m1 = Module(module_id=1, members=[1], weighted_parents={0: 1.0})
+        network = ModuleNetwork([m0, m1], ["a", "b"], n_obs=3)
+        cleaned, removed = make_acyclic(network)
+        assert removed == []
+        assert cleaned.modules[1].weighted_parents == {0: 1.0}
+
+    def test_original_network_untouched(self):
+        network = _cyclic_network()
+        make_acyclic(network)
+        assert 0 in network.modules[1].weighted_parents  # not mutated
+
+    def test_uniform_parents_preserved(self):
+        network = _cyclic_network()
+        network.modules[0].uniform_parents = {3: 0.1}
+        cleaned, _ = make_acyclic(network)
+        assert cleaned.modules[0].uniform_parents == {3: 0.1}
+
+    def test_on_learned_network(self, tiny_matrix, fast_config):
+        from repro.core.learner import LemonTreeLearner
+
+        result = LemonTreeLearner(fast_config).learn(tiny_matrix, seed=6)
+        cleaned, removed = make_acyclic(result.network)
+        assert nx.is_directed_acyclic_graph(cleaned.module_graph())
+        # Total parent mass only decreases.
+        before = sum(
+            s for m in result.network.modules for s in m.weighted_parents.values()
+        )
+        after = sum(
+            s for m in cleaned.modules for s in m.weighted_parents.values()
+        )
+        assert after <= before + 1e-12

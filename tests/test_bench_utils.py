@@ -1,0 +1,126 @@
+"""Tests for the benchmark-harness utilities."""
+
+import json
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.bench.paper import PAPER
+from repro.bench.reporting import render_figure_series, render_table
+from repro.bench.runtime_model import (
+    FullScaleEstimate,
+    estimate_full_scale_runtime,
+    fit_growth_exponent,
+    growth_ratios,
+)
+
+
+class TestPaperData:
+    def test_all_sections_present(self):
+        assert set(PAPER) >= {
+            "table1", "table2", "growth", "fig5", "fig6", "imbalance",
+            "estimates", "shapes",
+        }
+
+    def test_table1_speedups_in_reported_band(self):
+        for _lemon, _ours, speedup in PAPER["table1"].values():
+            assert 3.6 <= speedup <= 3.8
+
+    def test_table1_ratio_consistent_with_times(self):
+        for lemon, ours, speedup in PAPER["table1"].values():
+            assert lemon / ours == pytest.approx(speedup, abs=0.06)
+
+    def test_table2_efficiency_consistent(self):
+        t256 = PAPER["table2"][256][0]
+        for p, (tp, speedup, eff) in PAPER["table2"].items():
+            assert t256 / tp == pytest.approx(speedup, abs=0.06)
+            # published efficiencies derive from the unrounded speedups
+            assert (t256 / tp) / (p / 256) * 100 == pytest.approx(eff, abs=0.3)
+
+    def test_shapes(self):
+        assert PAPER["shapes"]["yeast"] == (5716, 2577)
+        assert PAPER["shapes"]["thaliana"] == (18373, 5102)
+
+
+class TestGrowthFits:
+    def test_exact_power_law_recovered(self):
+        sizes = np.array([10, 20, 40, 80])
+        times = 3.0 * sizes**2.0
+        assert fit_growth_exponent(sizes, times) == pytest.approx(2.0)
+
+    @given(exponent=st.floats(0.5, 3.0), scale=st.floats(0.1, 100.0))
+    @settings(max_examples=40, deadline=None)
+    def test_recovers_any_power_law(self, exponent, scale):
+        sizes = np.array([8.0, 16.0, 32.0, 64.0])
+        times = scale * sizes**exponent
+        assert fit_growth_exponent(sizes, times) == pytest.approx(exponent, abs=1e-9)
+
+    def test_rejects_bad_input(self):
+        with pytest.raises(ValueError):
+            fit_growth_exponent([1.0], [1.0])
+        with pytest.raises(ValueError):
+            fit_growth_exponent([1.0, 0.0], [1.0, 2.0])
+        with pytest.raises(ValueError):
+            fit_growth_exponent([1.0, 2.0], [1.0])
+
+    def test_growth_ratios_baseline_is_one(self):
+        ratios = growth_ratios([20, 10, 40], [4.0, 1.0, 16.0])
+        assert ratios == [1.0, 4.0, 16.0]
+
+
+class TestFullScaleEstimate:
+    def test_scaling_formula(self):
+        estimate = estimate_full_scale_runtime(
+            100.0, (10, 10), (20, 30), m_exponent=2.0, n_exponent=1.0
+        )
+        assert estimate.estimated_seconds == pytest.approx(100.0 * 9.0 * 2.0)
+
+    def test_unit_conversions(self):
+        estimate = FullScaleEstimate(3600.0, (1, 1), (1, 1), 2.0, 1.8)
+        assert estimate.estimated_hours == pytest.approx(1.0)
+        assert estimate.estimated_days == pytest.approx(1 / 24)
+
+    def test_identity_at_same_shape(self):
+        estimate = estimate_full_scale_runtime(42.0, (10, 20), (10, 20))
+        assert estimate.estimated_seconds == pytest.approx(42.0)
+
+    def test_rejects_nonpositive_measurement(self):
+        with pytest.raises(ValueError):
+            estimate_full_scale_runtime(0.0, (1, 1), (2, 2))
+
+
+class TestRendering:
+    def test_table_contains_all_cells(self):
+        out = render_table("Title", ["a", "bb"], [[1, "x"], [22, "yy"]])
+        assert "Title" in out
+        for token in ("a", "bb", "1", "x", "22", "yy"):
+            assert token in out
+
+    def test_table_column_alignment(self):
+        out = render_table("T", ["col"], [["a"], ["bbbb"]])
+        lines = out.splitlines()
+        assert len({len(line) for line in lines[2:]}) == 1  # uniform width
+
+    def test_float_formatting(self):
+        out = render_table("T", ["v"], [[0.001234], [12345.6], [3.14159]])
+        assert "0.00123" in out
+        assert "1.23e+04" in out
+        assert "3.14" in out
+
+    def test_figure_series_grid(self):
+        out = render_figure_series(
+            "F", "x", {"s1": {1: 1.0, 2: 4.0}, "s2": {2: 8.0}}
+        )
+        assert "s1" in out and "s2" in out
+        assert "-" in out  # missing point placeholder
+
+    def test_save_and_load_results(self, tmp_path, monkeypatch):
+        import repro.bench.reporting as reporting
+
+        monkeypatch.setattr(reporting, "RESULTS_DIR", tmp_path)
+        path = reporting.save_results("demo", {"value": 3})
+        assert json.loads(path.read_text())["value"] == 3
+        assert reporting.load_results("demo")["experiment"] == "demo"
+        assert reporting.load_results("missing") is None

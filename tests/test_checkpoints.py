@@ -1,0 +1,92 @@
+"""Tests for resumable task-3 execution (per-module checkpoints)."""
+
+import json
+
+import pytest
+
+from repro.core.config import LearnerConfig
+from repro.core.learner import LemonTreeLearner
+
+
+@pytest.fixture()
+def setup(tiny_matrix, fast_config):
+    learner = LemonTreeLearner(fast_config)
+    samples = learner.sample_clusterings(tiny_matrix, seed=5)
+    modules = learner.consensus(samples)
+    return learner, tiny_matrix, modules
+
+
+class TestCheckpoints:
+    def test_checkpoints_written(self, setup, tmp_path):
+        learner, matrix, modules = setup
+        learner.learn_from_modules(matrix, modules, seed=5, checkpoint_dir=tmp_path)
+        files = sorted(tmp_path.glob("module_*.json"))
+        assert len(files) == len(modules)
+
+    def test_resume_reproduces_network(self, setup, tmp_path):
+        """A run resumed from a partial checkpoint directory yields the
+        exact network an uninterrupted run produces."""
+        learner, matrix, modules = setup
+        full = learner.learn_from_modules(matrix, modules, seed=5).network
+
+        # Simulate an interrupted run: learn everything, then delete the
+        # checkpoints of the last modules so they must be recomputed.
+        learner.learn_from_modules(matrix, modules, seed=5, checkpoint_dir=tmp_path)
+        for module_id in range(len(modules) // 2, len(modules)):
+            (tmp_path / f"module_{module_id}.json").unlink()
+        resumed = learner.learn_from_modules(
+            matrix, modules, seed=5, checkpoint_dir=tmp_path
+        ).network
+        assert resumed == full
+
+    def test_checkpoints_actually_skip_work(self, setup, tmp_path):
+        learner, matrix, modules = setup
+        first = learner.learn_from_modules(
+            matrix, modules, seed=5, checkpoint_dir=tmp_path
+        )
+        second = learner.learn_from_modules(
+            matrix, modules, seed=5, checkpoint_dir=tmp_path
+        )
+        assert second.network == first.network
+        # The warm run is dominated by JSON loading, far below learning time.
+        assert second.task_times.modules < max(0.5, first.task_times.modules)
+
+    def test_stale_config_checkpoint_ignored(self, setup, tmp_path):
+        """Checkpoints carry a configuration fingerprint — changing the
+        learning parameters must not silently reuse them."""
+        learner, matrix, modules = setup
+        learner.learn_from_modules(matrix, modules, seed=5, checkpoint_dir=tmp_path)
+        other = LemonTreeLearner(LearnerConfig(max_sampling_steps=7))
+        result = other.learn_from_modules(
+            matrix, modules, seed=5, checkpoint_dir=tmp_path
+        )
+        fresh = other.learn_from_modules(matrix, modules, seed=5)
+        assert result.network == fresh.network
+
+    def test_stale_seed_checkpoint_ignored(self, setup, tmp_path):
+        learner, matrix, modules = setup
+        learner.learn_from_modules(matrix, modules, seed=5, checkpoint_dir=tmp_path)
+        result = learner.learn_from_modules(
+            matrix, modules, seed=6, checkpoint_dir=tmp_path
+        )
+        fresh = learner.learn_from_modules(matrix, modules, seed=6)
+        assert result.network == fresh.network
+
+    def test_mismatched_members_ignored(self, setup, tmp_path):
+        learner, matrix, modules = setup
+        learner.learn_from_modules(matrix, modules, seed=5, checkpoint_dir=tmp_path)
+        # Corrupt one checkpoint's membership record.
+        path = tmp_path / "module_0.json"
+        payload = json.loads(path.read_text())
+        payload["members"] = payload["members"][::-1]
+        path.write_text(json.dumps(payload))
+        result = learner.learn_from_modules(
+            matrix, modules, seed=5, checkpoint_dir=tmp_path
+        )
+        fresh = learner.learn_from_modules(matrix, modules, seed=5)
+        assert result.network == fresh.network
+
+    def test_no_temp_files_left(self, setup, tmp_path):
+        learner, matrix, modules = setup
+        learner.learn_from_modules(matrix, modules, seed=5, checkpoint_dir=tmp_path)
+        assert not list(tmp_path.glob("*.tmp"))

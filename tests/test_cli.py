@@ -1,0 +1,206 @@
+"""Tests for the command-line interface."""
+
+import json
+
+import pytest
+
+from repro.cli import build_parser, main
+from repro.core.output import network_from_json
+from repro.data.io import read_expression_tsv
+
+
+@pytest.fixture()
+def matrix_file(tmp_path):
+    path = tmp_path / "expr.tsv"
+    code = main(["generate", "--n", "24", "--m", "14", "--seed", "3",
+                 "--out", str(path)])
+    assert code == 0
+    return path
+
+
+class TestParser:
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_learn_requires_data_source(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["learn"])
+
+    def test_input_and_preset_exclusive(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(
+                ["learn", "--input", "x.tsv", "--preset", "yeast"]
+            )
+
+
+class TestGenerate:
+    def test_writes_readable_matrix(self, matrix_file):
+        matrix = read_expression_tsv(matrix_file)
+        assert matrix.shape == (24, 14)
+
+
+class TestLearn:
+    def test_learn_from_file(self, matrix_file, tmp_path, capsys):
+        out_json = tmp_path / "net.json"
+        out_xml = tmp_path / "net.xml"
+        code = main([
+            "learn", "--input", str(matrix_file), "--seed", "1",
+            "--sampling-steps", "4",
+            "--out-json", str(out_json), "--out-xml", str(out_xml),
+        ])
+        assert code == 0
+        network = network_from_json(out_json.read_text())
+        assert network.n_vars == 24
+        assert out_xml.read_text().startswith("<ModuleNetwork")
+        assert "learned" in capsys.readouterr().out
+
+    def test_learn_from_preset(self, capsys):
+        code = main([
+            "learn", "--preset", "yeast", "--scale", "0.004",
+            "--sampling-steps", "3", "--seed", "2",
+        ])
+        assert code == 0
+        assert "modules" in capsys.readouterr().out
+
+    def test_learn_parallel_matches_sequential(self, matrix_file, tmp_path):
+        seq_path = tmp_path / "seq.json"
+        par_path = tmp_path / "par.json"
+        common = ["--input", str(matrix_file), "--seed", "5",
+                  "--sampling-steps", "4"]
+        main(["learn", *common, "--out-json", str(seq_path)])
+        main(["learn", *common, "--parallel", "3", "--out-json", str(par_path)])
+        assert network_from_json(seq_path.read_text()) == network_from_json(
+            par_path.read_text()
+        )
+
+    def test_learn_acyclic(self, matrix_file, tmp_path):
+        out_json = tmp_path / "dag.json"
+        code = main([
+            "learn", "--input", str(matrix_file), "--seed", "1",
+            "--sampling-steps", "4", "--acyclic", "--out-json", str(out_json),
+        ])
+        assert code == 0
+        network = network_from_json(out_json.read_text())
+        assert network.feedback_edges() == []
+
+    def test_init_clusters_fraction(self, matrix_file, capsys):
+        code = main([
+            "learn", "--input", str(matrix_file), "--seed", "1",
+            "--sampling-steps", "3", "--init-clusters", "0.25",
+        ])
+        assert code == 0
+
+
+class TestScale:
+    def test_scale_table(self, matrix_file, capsys):
+        code = main([
+            "scale", "--input", str(matrix_file), "--seed", "1",
+            "--sampling-steps", "3", "--procs", "1", "8", "64",
+        ])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "T_1" in out and "speedup" in out
+
+    def test_scale_custom_machine(self, matrix_file, capsys):
+        code = main([
+            "scale", "--input", str(matrix_file), "--seed", "1",
+            "--sampling-steps", "3", "--procs", "4",
+            "--tau", "1e-4", "--mu", "1e-8",
+        ])
+        assert code == 0
+
+
+class TestCompare:
+    def test_compare_runs(self, matrix_file, capsys):
+        code = main([
+            "compare", "--input", str(matrix_file), "--seed", "1",
+            "--modules", "3",
+        ])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "GENOMICA" in out and "agreement" in out
+
+
+class TestTaskWorkflow:
+    """The Lemon-Tree multi-invocation workflow: ganesh -> consensus ->
+    modules with intermediate files, equivalent to one-shot learn."""
+
+    def test_task_pipeline_matches_learn(self, matrix_file, tmp_path):
+        clusters = tmp_path / "clusters.json"
+        modules = tmp_path / "modules.json"
+        net_tasks = tmp_path / "net_tasks.json"
+        net_learn = tmp_path / "net_learn.json"
+
+        assert main(["ganesh", "--input", str(matrix_file), "--seed", "4",
+                     "--out", str(clusters)]) == 0
+        assert main(["consensus", "--inputs", str(clusters),
+                     "--out", str(modules)]) == 0
+        assert main(["modules", "--input", str(matrix_file), "--seed", "4",
+                     "--modules-file", str(modules), "--sampling-steps", "4",
+                     "--out-json", str(net_tasks)]) == 0
+        assert main(["learn", "--input", str(matrix_file), "--seed", "4",
+                     "--sampling-steps", "4", "--out-json", str(net_learn)]) == 0
+
+        assert network_from_json(net_tasks.read_text()) == network_from_json(
+            net_learn.read_text()
+        )
+
+    def test_ganesh_multiple_runs(self, matrix_file, tmp_path):
+        out = tmp_path / "c.json"
+        assert main(["ganesh", "--input", str(matrix_file), "--seed", "1",
+                     "--runs", "3", "--out", str(out)]) == 0
+        payload = json.loads(out.read_text())
+        assert len(payload["samples"]) == 3
+        assert all(len(s) == 24 for s in payload["samples"])
+
+    def test_consensus_combines_files(self, matrix_file, tmp_path):
+        """G runs as separate invocations (separate cluster jobs) combine."""
+        a, b = tmp_path / "a.json", tmp_path / "b.json"
+        main(["ganesh", "--input", str(matrix_file), "--seed", "1", "--out", str(a)])
+        main(["ganesh", "--input", str(matrix_file), "--seed", "2", "--out", str(b)])
+        out = tmp_path / "mods.json"
+        assert main(["consensus", "--inputs", str(a), str(b),
+                     "--out", str(out)]) == 0
+        payload = json.loads(out.read_text())
+        flat = sorted(v for mod in payload["modules"] for v in mod)
+        assert flat == list(range(24))
+
+    def test_modules_rejects_mismatched_matrix(self, matrix_file, tmp_path):
+        other = tmp_path / "other.tsv"
+        main(["generate", "--n", "10", "--m", "8", "--out", str(other)])
+        clusters = tmp_path / "c.json"
+        modules = tmp_path / "m.json"
+        main(["ganesh", "--input", str(matrix_file), "--seed", "1",
+              "--out", str(clusters)])
+        main(["consensus", "--inputs", str(clusters), "--out", str(modules)])
+        with pytest.raises(SystemExit):
+            main(["modules", "--input", str(other), "--seed", "1",
+                  "--modules-file", str(modules)])
+
+
+class TestReport:
+    def test_report_from_network_json(self, matrix_file, tmp_path, capsys):
+        net = tmp_path / "net.json"
+        main(["learn", "--input", str(matrix_file), "--seed", "1",
+              "--sampling-steps", "4", "--out-json", str(net)])
+        capsys.readouterr()
+        assert main(["report", "--network", str(net)]) == 0
+        out = capsys.readouterr().out
+        assert "module network:" in out
+        assert "module graph:" in out
+        assert "tree:" in out
+
+
+class TestModulesCheckpoint:
+    def test_checkpoint_dir_flag(self, matrix_file, tmp_path):
+        clusters = tmp_path / "c.json"
+        modules = tmp_path / "m.json"
+        ckpt = tmp_path / "ckpt"
+        main(["ganesh", "--input", str(matrix_file), "--seed", "1",
+              "--out", str(clusters)])
+        main(["consensus", "--inputs", str(clusters), "--out", str(modules)])
+        assert main(["modules", "--input", str(matrix_file), "--seed", "1",
+                     "--modules-file", str(modules), "--sampling-steps", "4",
+                     "--checkpoint-dir", str(ckpt)]) == 0
+        assert list(ckpt.glob("module_*.json"))

@@ -1,0 +1,144 @@
+"""Tests for the synthetic data generator and matrix I/O."""
+
+import numpy as np
+import pytest
+
+from repro.data.io import read_expression_tsv, write_expression_tsv
+from repro.data.synthetic import (
+    THALIANA_SHAPE,
+    YEAST_SHAPE,
+    make_module_dataset,
+    thaliana_like,
+    yeast_like,
+)
+
+
+class TestMakeModuleDataset:
+    def test_shape(self):
+        ds = make_module_dataset(30, 15, seed=0)
+        assert ds.matrix.shape == (30, 15)
+
+    def test_deterministic(self):
+        a = make_module_dataset(20, 10, seed=3)
+        b = make_module_dataset(20, 10, seed=3)
+        np.testing.assert_array_equal(a.matrix.values, b.matrix.values)
+        np.testing.assert_array_equal(a.truth.module_of_gene, b.truth.module_of_gene)
+
+    def test_seed_changes_data(self):
+        a = make_module_dataset(20, 10, seed=1)
+        b = make_module_dataset(20, 10, seed=2)
+        assert not np.allclose(a.matrix.values, b.matrix.values)
+
+    def test_ground_truth_consistent(self):
+        ds = make_module_dataset(40, 20, n_modules=5, seed=4)
+        truth = ds.truth
+        assert truth.n_modules == 5
+        assert truth.module_of_gene.shape == (40,)
+        assert truth.module_of_gene.max() < 5
+        for module in range(5):
+            assert (truth.module_of_gene == module).any()  # no empty modules
+            regs = truth.regulators_of(module)
+            assert 1 <= len(regs) <= 2
+            program = truth.programs[module]
+            assert len(program.leaf_means) == 2 ** len(program.regulators)
+
+    def test_module_structure_is_detectable(self):
+        """Within-module correlation must exceed between-module correlation
+        (otherwise the learner has nothing to find)."""
+        ds = make_module_dataset(40, 60, n_modules=4, noise=0.3, heavy_tail=0.0, seed=5)
+        values = ds.matrix.values
+        corr = np.corrcoef(values)
+        labels = ds.truth.module_of_gene
+        same = np.asarray(labels)[:, None] == np.asarray(labels)[None, :]
+        np.fill_diagonal(same, False)
+        within = corr[same].mean()
+        between = corr[~same & ~np.eye(40, dtype=bool)].mean()
+        assert within > between + 0.1
+
+    def test_rejects_tiny(self):
+        with pytest.raises(ValueError):
+            make_module_dataset(2, 10)
+
+    def test_finite_values(self):
+        ds = make_module_dataset(25, 12, seed=6)
+        assert np.isfinite(ds.matrix.values).all()
+
+    def test_default_module_scaling(self):
+        small = make_module_dataset(24, 10, seed=0)
+        large = make_module_dataset(240, 10, seed=0)
+        assert large.truth.n_modules > small.truth.n_modules
+
+
+class TestPresets:
+    def test_yeast_like_shape_scales(self):
+        ds = yeast_like(scale=1 / 100)
+        assert ds.matrix.n_vars == round(YEAST_SHAPE[0] / 100)
+        assert ds.matrix.n_obs == round(YEAST_SHAPE[1] / 100)
+        assert "yeast" in ds.name
+
+    def test_thaliana_like_shape_scales(self):
+        ds = thaliana_like(scale=1 / 200)
+        assert ds.matrix.n_vars == round(THALIANA_SHAPE[0] / 200)
+        assert "thaliana" in ds.name
+
+    def test_thaliana_bigger_than_yeast(self):
+        y = yeast_like(scale=1 / 100)
+        t = thaliana_like(scale=1 / 100)
+        assert t.matrix.n_vars > y.matrix.n_vars
+        assert t.matrix.n_obs > y.matrix.n_obs
+
+    def test_minimum_size_floor(self):
+        ds = yeast_like(scale=1e-6)
+        assert ds.matrix.n_vars >= 8 and ds.matrix.n_obs >= 8
+
+
+class TestIO:
+    def test_roundtrip(self, tmp_path):
+        ds = make_module_dataset(12, 7, seed=7)
+        path = tmp_path / "matrix.tsv"
+        write_expression_tsv(ds.matrix, path)
+        back = read_expression_tsv(path)
+        np.testing.assert_allclose(back.values, ds.matrix.values, rtol=1e-9)
+        assert back.var_names == ds.matrix.var_names
+        assert back.obs_names == ds.matrix.obs_names
+
+    @pytest.mark.parametrize("p", [1, 2, 3, 5])
+    def test_parallel_read_matches_serial(self, tmp_path, p):
+        """The block-distributed read (Section 5.3) is value-identical."""
+        ds = make_module_dataset(13, 6, seed=8)
+        path = tmp_path / "matrix.tsv"
+        write_expression_tsv(ds.matrix, path)
+        serial = read_expression_tsv(path, p=1)
+        parallel = read_expression_tsv(path, p=p)
+        np.testing.assert_array_equal(parallel.values, serial.values)
+        assert parallel.var_names == serial.var_names
+
+    def test_malformed_header(self, tmp_path):
+        path = tmp_path / "bad.tsv"
+        path.write_text("JUSTONECELL\n")
+        with pytest.raises(ValueError):
+            read_expression_tsv(path)
+
+    def test_row_without_values(self, tmp_path):
+        path = tmp_path / "bad.tsv"
+        path.write_text("GENE\tc1\ngene1\n")
+        with pytest.raises(ValueError):
+            read_expression_tsv(path)
+
+    def test_inconsistent_row_length(self, tmp_path):
+        path = tmp_path / "bad.tsv"
+        path.write_text("GENE\tc1\tc2\ngene1\t1.0\n")
+        with pytest.raises(ValueError):
+            read_expression_tsv(path)
+
+    def test_empty_file(self, tmp_path):
+        path = tmp_path / "empty.tsv"
+        path.write_text("GENE\tc1\n")
+        with pytest.raises(ValueError, match="no data rows"):
+            read_expression_tsv(path)
+
+    def test_blank_lines_skipped(self, tmp_path):
+        path = tmp_path / "blank.tsv"
+        path.write_text("GENE\tc1\tc2\ng1\t1.0\t2.0\n\ng2\t3.0\t4.0\n")
+        matrix = read_expression_tsv(path)
+        assert matrix.n_vars == 2

@@ -1,0 +1,124 @@
+"""Failure injection and degenerate-input behaviour."""
+
+import numpy as np
+import pytest
+
+from repro.core.config import LearnerConfig
+from repro.core.learner import LemonTreeLearner
+from repro.datatypes import ExpressionMatrix
+from repro.parallel.comm import SpmdFailure, run_spmd
+from repro.parallel.engine import ParallelLearner
+
+
+class TestSpmdFailures:
+    def test_one_rank_raising_reports_all(self):
+        def fn(comm):
+            comm.allreduce(1)
+            if comm.rank == 1:
+                raise ValueError("injected")
+            # The surviving ranks block on the next collective; the abort
+            # must release them rather than deadlock.
+            comm.allreduce(2)
+
+        with pytest.raises(SpmdFailure) as err:
+            run_spmd(3, fn)
+        ranks = [rank for rank, _ in err.value.errors]
+        assert 1 in ranks
+
+    def test_all_ranks_raising(self):
+        def fn(comm):
+            raise RuntimeError(f"rank {comm.rank}")
+
+        with pytest.raises(SpmdFailure) as err:
+            run_spmd(4, fn)
+        assert len(err.value.errors) == 4
+
+    def test_failure_message_readable(self):
+        def fn(comm):
+            if comm.rank == 0:
+                raise KeyError("k")
+            comm.barrier()
+
+        with pytest.raises(SpmdFailure) as err:
+            run_spmd(2, fn)
+        assert "rank 0" in str(err.value)
+
+
+class TestDegenerateData:
+    def test_constant_matrix(self, fast_config):
+        """All-equal values: scores degenerate but nothing crashes and the
+        output is a complete partition."""
+        matrix = ExpressionMatrix(np.ones((10, 8)))
+        result = LemonTreeLearner(fast_config).learn(matrix, seed=1)
+        assert sum(m.size for m in result.network.modules) == 10
+
+    def test_constant_matrix_parallel_consistent(self, fast_config):
+        matrix = ExpressionMatrix(np.full((8, 6), 3.14))
+        sequential = LemonTreeLearner(fast_config).learn(matrix, seed=2)
+        parallel = ParallelLearner(fast_config).learn(matrix, seed=2, p=2)
+        assert parallel.network == sequential.network
+
+    def test_single_variable_rows_duplicated(self, fast_config):
+        """Identical rows must all land in modules (ties everywhere)."""
+        row = np.linspace(-1, 1, 9)
+        matrix = ExpressionMatrix(np.tile(row, (6, 1)))
+        result = LemonTreeLearner(fast_config).learn(matrix, seed=3)
+        assert result.network.n_modules >= 1
+
+    def test_tiny_matrix(self, fast_config):
+        matrix = ExpressionMatrix(np.random.default_rng(0).normal(size=(4, 4)))
+        result = LemonTreeLearner(fast_config).learn(matrix, seed=4)
+        assert result.network.n_vars == 4
+
+    def test_extreme_magnitudes(self, fast_config):
+        rng = np.random.default_rng(1)
+        values = rng.normal(size=(8, 8)) * 1e6 + 1e8
+        matrix = ExpressionMatrix(values)
+        result = LemonTreeLearner(fast_config).learn(matrix, seed=5)
+        for module in result.network.modules:
+            for score in module.weighted_parents.values():
+                assert np.isfinite(score)
+
+    def test_mixed_scales(self, fast_config):
+        rng = np.random.default_rng(2)
+        values = rng.normal(size=(10, 8))
+        values[0] *= 1e-8
+        values[1] *= 1e8
+        result = LemonTreeLearner(fast_config).learn(
+            ExpressionMatrix(values), seed=6
+        )
+        assert result.network.n_modules >= 1
+
+    def test_single_ganesh_cluster_config(self):
+        """K0 = 1: everything starts in one cluster; reassignment can still
+        split it via the fresh-cluster option."""
+        config = LearnerConfig(init_var_clusters=1, max_sampling_steps=3)
+        matrix = ExpressionMatrix(
+            np.vstack([np.zeros((5, 10)), np.ones((5, 10)) * 9])
+            + np.random.default_rng(3).normal(0, 0.1, size=(10, 10))
+        )
+        result = LemonTreeLearner(config).learn(matrix, seed=7)
+        assert result.network.n_modules >= 1
+
+
+class TestInitClusterResolution:
+    def test_fraction(self):
+        assert LearnerConfig(init_var_clusters=0.25).resolve_init_clusters(100) == 25
+
+    def test_absolute(self):
+        assert LearnerConfig(init_var_clusters=7).resolve_init_clusters(100) == 7
+
+    def test_default_half(self):
+        assert LearnerConfig().resolve_init_clusters(100) == 50
+
+    def test_clamped_to_n(self):
+        assert LearnerConfig(init_var_clusters=500).resolve_init_clusters(10) == 10
+
+    def test_rejects_nonpositive(self):
+        with pytest.raises(ValueError):
+            LearnerConfig(init_var_clusters=0).resolve_init_clusters(10)
+        with pytest.raises(ValueError):
+            LearnerConfig(init_var_clusters=-0.5).resolve_init_clusters(10)
+
+    def test_fraction_floor_is_one(self):
+        assert LearnerConfig(init_var_clusters=0.001).resolve_init_clusters(10) == 1

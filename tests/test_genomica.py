@@ -1,0 +1,166 @@
+"""Tests for the GENOMICA-style iterative two-step learner."""
+
+import numpy as np
+import pytest
+
+from repro.analysis import module_recovery_score
+from repro.data.synthetic import make_module_dataset
+from repro.genomica import (
+    GenomicaConfig,
+    GenomicaLearner,
+    ParallelGenomicaLearner,
+)
+from repro.parallel.trace import WorkTrace, project_time
+
+
+@pytest.fixture(scope="module")
+def easy_dataset():
+    return make_module_dataset(36, 30, n_modules=3, noise=0.2, heavy_tail=0.0, seed=77)
+
+
+@pytest.fixture(scope="module")
+def easy_result(easy_dataset):
+    config = GenomicaConfig(n_modules=3, max_iterations=8)
+    return GenomicaLearner(config).learn(easy_dataset.matrix, seed=5)
+
+
+class TestConfig:
+    def test_defaults_valid(self):
+        GenomicaConfig()
+
+    @pytest.mark.parametrize(
+        "field,value",
+        [("n_modules", 0), ("max_iterations", 0), ("tree_update_steps", 0)],
+    )
+    def test_rejects_invalid(self, field, value):
+        with pytest.raises(ValueError):
+            GenomicaConfig(**{field: value})
+
+
+class TestLearning:
+    def test_network_partitions_variables(self, easy_dataset, easy_result):
+        network = easy_result.network
+        labels = network.assignment_labels()
+        assert (labels >= 0).all()
+        assert sum(m.size for m in network.modules) == easy_dataset.matrix.n_vars
+
+    def test_module_count_fixed(self, easy_result):
+        assert easy_result.network.n_modules == 3
+
+    def test_score_history_improves(self, easy_result):
+        history = easy_result.score_history
+        assert len(history) >= 2
+        assert history[-1] > history[0]
+
+    def test_convergence_flag(self, easy_result):
+        if easy_result.converged:
+            assert easy_result.n_iterations <= 8
+
+    def test_recovers_easy_structure(self, easy_dataset, easy_result):
+        ari = module_recovery_score(easy_result.network, easy_dataset.truth)
+        assert ari > 0.5
+
+    def test_deterministic(self, easy_dataset):
+        config = GenomicaConfig(n_modules=3, max_iterations=4)
+        a = GenomicaLearner(config).learn(easy_dataset.matrix, seed=9)
+        b = GenomicaLearner(config).learn(easy_dataset.matrix, seed=9)
+        assert a.network == b.network
+        assert a.score_history == b.score_history
+
+    def test_seed_sensitivity(self, easy_dataset):
+        config = GenomicaConfig(n_modules=3, max_iterations=3)
+        a = GenomicaLearner(config).learn(easy_dataset.matrix, seed=1)
+        b = GenomicaLearner(config).learn(easy_dataset.matrix, seed=2)
+        assert not np.array_equal(
+            a.network.assignment_labels(), b.network.assignment_labels()
+        )
+
+    def test_trees_have_single_best_split(self, easy_result):
+        for module in easy_result.network.modules:
+            for tree in module.trees:
+                for node in tree.internal_nodes():
+                    assert len(node.weighted_splits) <= 1
+                    for split in node.weighted_splits:
+                        assert 0.0 < split.posterior <= 1.0
+
+    def test_parent_scores_present(self, easy_result):
+        parents = [
+            p for m in easy_result.network.modules for p in m.weighted_parents
+        ]
+        assert parents
+
+    def test_candidate_parent_restriction(self, easy_dataset):
+        config = GenomicaConfig(
+            n_modules=3, max_iterations=2, candidate_parents=(0, 1, 2, 3)
+        )
+        result = GenomicaLearner(config).learn(easy_dataset.matrix, seed=3)
+        for module in result.network.modules:
+            assert all(p < 4 for p in module.weighted_parents)
+
+    def test_k_larger_than_n_clamped(self):
+        ds = make_module_dataset(8, 10, n_modules=2, seed=1)
+        config = GenomicaConfig(n_modules=50, max_iterations=2)
+        result = GenomicaLearner(config).learn(ds.matrix, seed=1)
+        assert result.network.n_modules <= 8
+
+    def test_max_iterations_respected(self, easy_dataset):
+        config = GenomicaConfig(n_modules=3, max_iterations=1)
+        result = GenomicaLearner(config).learn(easy_dataset.matrix, seed=4)
+        assert result.n_iterations == 1
+
+
+class TestParallelGenomica:
+    """The Section 6 future-work extension: GENOMICA on the paper's
+    parallel components, with the same consistency guarantee."""
+
+    @pytest.mark.parametrize("p", [1, 2, 4])
+    def test_identical_to_sequential(self, easy_dataset, p):
+        config = GenomicaConfig(n_modules=3, max_iterations=3)
+        sequential = GenomicaLearner(config).learn(easy_dataset.matrix, seed=5)
+        parallel = ParallelGenomicaLearner(config).learn_parallel(
+            easy_dataset.matrix, seed=5, p=p
+        )
+        assert parallel.network == sequential.network
+        assert parallel.n_iterations == sequential.n_iterations
+        assert parallel.converged == sequential.converged
+
+    def test_score_history_matches_to_float_noise(self, easy_dataset):
+        config = GenomicaConfig(n_modules=3, max_iterations=3)
+        sequential = GenomicaLearner(config).learn(easy_dataset.matrix, seed=7)
+        parallel = ParallelGenomicaLearner(config).learn_parallel(
+            easy_dataset.matrix, seed=7, p=3
+        )
+        assert len(parallel.score_history) == len(sequential.score_history)
+        for a, b in zip(parallel.score_history, sequential.score_history):
+            assert a == pytest.approx(b, rel=1e-9)
+
+    def test_work_balanced_across_ranks(self, easy_dataset):
+        config = GenomicaConfig(n_modules=3, max_iterations=2)
+        result = ParallelGenomicaLearner(config).learn_parallel(
+            easy_dataset.matrix, seed=3, p=4
+        )
+        work = result.work_per_rank
+        assert work.shape == (4,)
+        assert work.max() < 1.5 * work.mean()
+
+    def test_mrg_backend(self, easy_dataset):
+        config = GenomicaConfig(n_modules=3, max_iterations=2, rng_backend="mrg")
+        sequential = GenomicaLearner(config).learn(easy_dataset.matrix, seed=2)
+        parallel = ParallelGenomicaLearner(config).learn_parallel(
+            easy_dataset.matrix, seed=2, p=2
+        )
+        assert parallel.network == sequential.network
+
+
+class TestGenomicaTrace:
+    def test_trace_recorded_and_projects(self, easy_dataset):
+        config = GenomicaConfig(n_modules=3, max_iterations=3)
+        trace = WorkTrace()
+        result = GenomicaLearner(config).learn(easy_dataset.matrix, seed=5, trace=trace)
+        phases = {s.phase for s in trace.steps}
+        assert "modules.e_step" in phases
+        assert "modules.split_search" in phases
+        assert "modules.obs_reassign" in phases
+        t1 = project_time(trace, 1).total
+        assert t1 == pytest.approx(result.elapsed_seconds, rel=1e-6)
+        assert project_time(trace, 16).total < t1

@@ -1,0 +1,56 @@
+"""Golden-output regression test.
+
+A reproduction repository's core promise is that results do not drift:
+the committed golden network (learned with a fixed seed, configuration and
+synthetic data set) must be regenerated bit-for-bit by the current code.
+Any intentional algorithm change must consciously regenerate
+``tests/data/golden_network.json``:
+
+    python -c "
+    from repro.core.config import LearnerConfig
+    from repro.core.learner import LemonTreeLearner
+    from repro.core.output import network_to_json
+    from repro.data.synthetic import make_module_dataset
+    matrix = make_module_dataset(20, 12, n_modules=3, seed=2024).matrix
+    net = LemonTreeLearner(LearnerConfig(max_sampling_steps=5)).learn(matrix, seed=99).network
+    open('tests/data/golden_network.json', 'w').write(network_to_json(net))
+    "
+"""
+
+from pathlib import Path
+
+import pytest
+
+from repro.core.config import LearnerConfig
+from repro.core.learner import LemonTreeLearner
+from repro.core.output import network_from_json, network_to_json
+from repro.data.synthetic import make_module_dataset
+
+GOLDEN = Path(__file__).parent / "data" / "golden_network.json"
+
+
+@pytest.fixture(scope="module")
+def regenerated():
+    matrix = make_module_dataset(20, 12, n_modules=3, seed=2024).matrix
+    config = LearnerConfig(max_sampling_steps=5)
+    return LemonTreeLearner(config).learn(matrix, seed=99).network
+
+
+class TestGolden:
+    def test_network_matches_golden(self, regenerated):
+        golden = network_from_json(GOLDEN.read_text())
+        assert regenerated == golden, (
+            "learned network drifted from the committed golden output — "
+            "if the change is intentional, regenerate tests/data/"
+            "golden_network.json (see this file's docstring)"
+        )
+
+    def test_serialization_matches_golden_bytes(self, regenerated):
+        """Even the serialized form is stable (field order, rounding)."""
+        assert network_to_json(regenerated) == GOLDEN.read_text()
+
+    def test_golden_is_well_formed(self):
+        golden = network_from_json(GOLDEN.read_text())
+        assert golden.n_vars == 20
+        assert golden.n_obs == 12
+        assert golden.n_modules >= 1

@@ -1,0 +1,217 @@
+"""Tests for CPD fitting, held-out likelihood and sampling."""
+
+import math
+
+import networkx as nx
+import numpy as np
+import pytest
+
+from repro.analysis import make_acyclic
+from repro.core.config import LearnerConfig
+from repro.core.learner import LemonTreeLearner
+from repro.data.synthetic import make_module_dataset
+from repro.datatypes import ExpressionMatrix
+from repro.inference import fit_network, holdout_log_likelihood, train_test_split_obs
+from repro.inference.cpd import LeafPredictive, _leaf_predictive
+from repro.scoring.normal_gamma import DEFAULT_PRIOR
+
+
+@pytest.fixture(scope="module")
+def learned_setup():
+    # Enough observations per leaf that the fitted predictives generalize;
+    # with very small training splits the routing can overfit (its
+    # improvement over the pooled null is data-dependent, as in any
+    # generative-model comparison).
+    ds = make_module_dataset(36, 60, n_modules=3, noise=0.2, heavy_tail=0.0, seed=77)
+    train, test = train_test_split_obs(ds.matrix, test_fraction=0.25, seed=1)
+    config = LearnerConfig(max_sampling_steps=10, candidate_parents=tuple(range(4)))
+    network = LemonTreeLearner(config).learn(train, seed=5).network
+    return ds, train, test, network
+
+
+class TestLeafPredictive:
+    def test_matches_chain_rule_marginal(self):
+        """log p(test | train) via the predictive must equal
+        logml(train + test) - logml(train) — the Bayesian identity."""
+        from repro.scoring.normal_gamma import log_marginal
+
+        rng = np.random.default_rng(0)
+        train = rng.normal(1.0, 2.0, size=12)
+        test = rng.normal(1.0, 2.0, size=5)
+
+        def ml(v):
+            return float(log_marginal(v.size, v.sum(), (v * v).sum()))
+
+        direct = ml(np.concatenate([train, test])) - ml(train)
+        # Predictive must be applied sequentially (test points are not
+        # i.i.d. under the posterior; condition on each in turn).
+        total = 0.0
+        seen = list(train)
+        for x in test:
+            leaf = _leaf_predictive(np.asarray(seen), DEFAULT_PRIOR)
+            total += leaf.log_pdf(np.asarray([x]))
+            seen.append(x)
+        assert total == pytest.approx(direct, rel=1e-9)
+
+    def test_mean_tracks_data(self):
+        leaf = _leaf_predictive(np.full(100, 7.0), DEFAULT_PRIOR)
+        assert leaf.mu == pytest.approx(7.0, abs=0.1)
+
+    def test_more_data_sharper_predictive(self):
+        rng = np.random.default_rng(1)
+        small = _leaf_predictive(rng.normal(0, 1, size=5), DEFAULT_PRIOR)
+        large = _leaf_predictive(rng.normal(0, 1, size=500), DEFAULT_PRIOR)
+        assert large.variance < small.variance
+
+    def test_log_pdf_integrates_sensibly(self):
+        leaf = LeafPredictive(mu=0.0, df=10.0, scale=1.0)
+        # density at the mode exceeds density in the tail
+        assert leaf.log_pdf(np.array([0.0])) > leaf.log_pdf(np.array([5.0]))
+
+    def test_sampling_distribution(self):
+        leaf = _leaf_predictive(np.random.default_rng(2).normal(3, 0.5, 200), DEFAULT_PRIOR)
+        draws = leaf.sample(5000, np.random.default_rng(3))
+        assert abs(draws.mean() - 3.0) < 0.1
+
+    def test_empty_leaf_falls_back_to_prior(self):
+        leaf = _leaf_predictive(np.zeros(0), DEFAULT_PRIOR)
+        assert leaf.mu == DEFAULT_PRIOR.mu0
+        assert math.isfinite(leaf.log_pdf(np.array([0.5])))
+
+
+class TestTrainTestSplit:
+    def test_partitions_columns(self, learned_setup):
+        ds, train, test, _ = learned_setup
+        assert train.n_obs + test.n_obs == ds.matrix.n_obs
+        assert set(train.obs_names).isdisjoint(test.obs_names)
+        assert train.n_vars == ds.matrix.n_vars
+
+    def test_deterministic(self):
+        matrix = ExpressionMatrix(np.random.default_rng(0).normal(size=(5, 20)))
+        a = train_test_split_obs(matrix, 0.3, seed=4)
+        b = train_test_split_obs(matrix, 0.3, seed=4)
+        np.testing.assert_array_equal(a[1].values, b[1].values)
+
+    def test_rejects_bad_fraction(self):
+        matrix = ExpressionMatrix(np.zeros((4, 8)))
+        with pytest.raises(ValueError):
+            train_test_split_obs(matrix, 0.0)
+        with pytest.raises(ValueError):
+            train_test_split_obs(matrix, 1.0)
+
+
+class TestFitNetwork:
+    def test_covers_all_modules(self, learned_setup):
+        _, train, _, network = learned_setup
+        fitted = fit_network(network, train)
+        assert len(fitted.modules) == network.n_modules
+        assert sum(len(m.members) for m in fitted.modules) == network.n_vars
+
+    def test_regulators_are_candidates(self, learned_setup):
+        _, train, _, network = learned_setup
+        fitted = fit_network(network, train)
+        for module in fitted.modules:
+            assert module.regulators <= set(range(4))
+
+    def test_rejects_mismatched_training(self, learned_setup):
+        _, train, test, network = learned_setup
+        with pytest.raises(ValueError):
+            fit_network(network, test)  # wrong observation count
+
+    def test_routing_reaches_a_leaf(self, learned_setup):
+        _, train, _, network = learned_setup
+        fitted = fit_network(network, train)
+        condition = train.values[:, 0]
+        for module in fitted.modules:
+            leaf = module.predictive_for(condition)
+            assert math.isfinite(leaf.mu)
+
+
+class TestHoldoutLikelihood:
+    def test_reports_all_metrics(self, learned_setup):
+        _, train, test, network = learned_setup
+        result = holdout_log_likelihood(network, train, test)
+        assert set(result) == {
+            "total_log_likelihood",
+            "per_condition",
+            "null_total_log_likelihood",
+            "null_per_condition",
+            "improvement_per_condition",
+        }
+        assert math.isfinite(result["total_log_likelihood"])
+
+    def test_regulatory_routing_beats_null(self, learned_setup):
+        """On module-structured data the learned program must carry
+        information beyond the pooled per-module Gaussian."""
+        _, train, test, network = learned_setup
+        result = holdout_log_likelihood(network, train, test)
+        assert result["improvement_per_condition"] > 0
+
+    def test_train_likelihood_exceeds_test(self, learned_setup):
+        _, train, test, network = learned_setup
+        fitted = fit_network(network, train)
+        train_per = fitted.log_likelihood(train) / train.n_obs
+        test_per = fitted.log_likelihood(test) / test.n_obs
+        assert train_per >= test_per - 5.0  # no wild generalization gap
+
+    def test_per_condition_vector(self, learned_setup):
+        _, train, test, network = learned_setup
+        fitted = fit_network(network, train)
+        per = fitted.per_condition_log_likelihood(test)
+        assert per.shape == (test.n_obs,)
+        assert per.sum() == pytest.approx(fitted.log_likelihood(test))
+
+
+class TestSampling:
+    def test_sampled_data_has_module_structure(self, learned_setup):
+        _, train, _, network = learned_setup
+        dag, _removed = make_acyclic(network)
+        order = list(nx.topological_sort(dag.module_graph()))
+        fitted = fit_network(dag, train)
+        sampled = fitted.sample(40, np.random.default_rng(5), order)
+        assert sampled.shape == (train.n_vars, 40)
+        assert np.isfinite(sampled).all()
+        # Within-module correlation exceeds between-module correlation.
+        labels = dag.assignment_labels()
+        corr = np.corrcoef(sampled)
+        same = labels[:, None] == labels[None, :]
+        np.fill_diagonal(same, False)
+        off = ~same & ~np.eye(labels.size, dtype=bool)
+        if same.any() and off.any():
+            assert np.nanmean(corr[same]) > np.nanmean(corr[off]) - 0.05
+
+    def test_incomplete_order_rejected(self, learned_setup):
+        _, train, _, network = learned_setup
+        fitted = fit_network(network, train)
+        with pytest.raises((ValueError, KeyError)):
+            fitted.sample(5, np.random.default_rng(0), module_order=[0])
+
+
+class TestRoutingGuard:
+    def test_disabled_guard_routes_everything(self, learned_setup):
+        """min_routing_accuracy = 0: every retained split routes."""
+        _, train, _, network = learned_setup
+        guarded = fit_network(network, train, min_routing_accuracy=0.75)
+        unguarded = fit_network(network, train, min_routing_accuracy=0.0)
+        n_guarded = sum(len(m.regulators) for m in guarded.modules)
+        n_unguarded = sum(len(m.regulators) for m in unguarded.modules)
+        assert n_unguarded >= n_guarded
+
+    def test_impossible_guard_equals_null_model(self, learned_setup):
+        """min_routing_accuracy > 1 collapses every node: the fitted model
+        must score exactly like the pooled null."""
+        _, train, test, network = learned_setup
+        collapsed = fit_network(network, train, min_routing_accuracy=1.1)
+        assert all(not m.regulators for m in collapsed.modules)
+        metrics = holdout_log_likelihood(network, train, test)
+        assert collapsed.log_likelihood(test) == pytest.approx(
+            metrics["null_total_log_likelihood"]
+        )
+
+    def test_guard_never_hurts_training_fit_much(self, learned_setup):
+        """The guard only removes splits that misroute the training data,
+        so the guarded model's training likelihood stays close."""
+        _, train, _, network = learned_setup
+        guarded = fit_network(network, train)
+        unguarded = fit_network(network, train, min_routing_accuracy=0.0)
+        assert guarded.log_likelihood(train) >= unguarded.log_likelihood(train) - 50.0

@@ -1,0 +1,119 @@
+"""End-to-end tests of the sequential learner pipeline."""
+
+import numpy as np
+import pytest
+
+from repro.core.config import LearnerConfig
+from repro.core.learner import LemonTreeLearner
+from repro.parallel.trace import WorkTrace
+
+
+class TestPipeline:
+    def test_learn_produces_complete_network(self, tiny_matrix, fast_config):
+        result = LemonTreeLearner(fast_config).learn(tiny_matrix, seed=1)
+        network = result.network
+        assert network.n_vars == tiny_matrix.n_vars
+        assert network.n_obs == tiny_matrix.n_obs
+        # Every variable belongs to exactly one module.
+        labels = network.assignment_labels()
+        assert (labels >= 0).all()
+        sizes = sum(module.size for module in network.modules)
+        assert sizes == tiny_matrix.n_vars
+
+    def test_every_module_has_a_tree(self, tiny_matrix, fast_config):
+        result = LemonTreeLearner(fast_config).learn(tiny_matrix, seed=2)
+        for module in result.network.modules:
+            assert len(module.trees) == 1  # R = 1 by default
+            np.testing.assert_array_equal(
+                module.trees[0].root.observations, np.arange(tiny_matrix.n_obs)
+            )
+
+    def test_splits_attached_to_internal_nodes(self, tiny_matrix, fast_config):
+        result = LemonTreeLearner(fast_config).learn(tiny_matrix, seed=3)
+        for module in result.network.modules:
+            for tree in module.trees:
+                for node in tree.internal_nodes():
+                    assert len(node.uniform_splits) == fast_config.n_splits_per_node
+                    assert len(node.weighted_splits) in (
+                        0,
+                        fast_config.n_splits_per_node,
+                    )
+
+    def test_task_times_positive(self, tiny_matrix, fast_config):
+        result = LemonTreeLearner(fast_config).learn(tiny_matrix, seed=4)
+        assert result.task_times.ganesh > 0
+        assert result.task_times.consensus > 0
+        assert result.task_times.modules > 0
+
+    def test_stats_reported(self, tiny_matrix, fast_config):
+        result = LemonTreeLearner(fast_config).learn(tiny_matrix, seed=5)
+        assert result.stats["n_modules"] == result.network.n_modules
+        assert len(result.stats["module_sizes"]) == result.network.n_modules
+        assert result.stats["n_trees"] >= result.network.n_modules
+
+    def test_consensus_runtime_negligible(self, small_matrix, fast_config):
+        """Section 3.2.2: consensus clustering is a negligible slice of the
+        total run-time (the paper measures < 0.04%; at this toy scale we
+        only require it to be clearly the smallest task).  The module task's
+        dominance *grows* with data size and is asserted at benchmark scale
+        in benchmarks/bench_fig5_strong_scaling.py."""
+        result = LemonTreeLearner(fast_config).learn(small_matrix, seed=6)
+        fractions = result.task_times.fractions()
+        assert fractions["consensus"] < fractions["modules"]
+        assert fractions["consensus"] < fractions["ganesh"]
+        assert fractions["consensus"] < 0.2
+
+    def test_trace_recording(self, tiny_matrix, fast_config):
+        trace = WorkTrace()
+        LemonTreeLearner(fast_config).learn(tiny_matrix, seed=7, trace=trace)
+        phases = set(s.phase for s in trace.steps)
+        assert "ganesh.var_reassign" in phases
+        assert "modules.split_scoring" in phases
+        assert trace.times.keys() == {"ganesh", "consensus", "modules"}
+
+    def test_trace_split_scoring_dominates_units(self, small_matrix, fast_config):
+        """Section 2.2.3: split scoring is the dominant cost (>90% in the
+        paper's runs)."""
+        trace = WorkTrace()
+        LemonTreeLearner(fast_config).learn(small_matrix, seed=8, trace=trace)
+        split_units = trace.phase_units()["modules.split_scoring"]
+        assert split_units / trace.total_units() > 0.8
+
+
+class TestConfigEffects:
+    def test_more_trees_with_more_samples(self, tiny_matrix):
+        config = LearnerConfig(tree_update_steps=3, tree_burn_in=1, max_sampling_steps=3)
+        result = LemonTreeLearner(config).learn(tiny_matrix, seed=9)
+        for module in result.network.modules:
+            assert len(module.trees) == 2  # steps 2 and 3 sampled
+
+    def test_multiple_ganesh_runs(self, tiny_matrix):
+        config = LearnerConfig(n_ganesh_runs=3, max_sampling_steps=3)
+        result = LemonTreeLearner(config).learn(tiny_matrix, seed=10)
+        assert result.network.n_modules >= 1
+
+    def test_max_modules_cap(self, tiny_matrix):
+        config = LearnerConfig(max_modules=2, max_sampling_steps=3)
+        result = LemonTreeLearner(config).learn(tiny_matrix, seed=11)
+        assert result.network.n_modules <= 2
+
+    def test_candidate_parent_restriction(self, tiny_matrix):
+        config = LearnerConfig(candidate_parents=(0, 1, 2), max_sampling_steps=3)
+        result = LemonTreeLearner(config).learn(tiny_matrix, seed=12)
+        for module in result.network.modules:
+            for parent in list(module.weighted_parents) + list(module.uniform_parents):
+                assert parent in (0, 1, 2)
+
+    def test_higher_n_splits(self, tiny_matrix):
+        config = LearnerConfig(n_splits_per_node=4, max_sampling_steps=3)
+        result = LemonTreeLearner(config).learn(tiny_matrix, seed=13)
+        for module in result.network.modules:
+            for tree in module.trees:
+                for node in tree.internal_nodes():
+                    assert len(node.uniform_splits) == 4
+
+    def test_subsample_grid_runs(self, small_matrix, fast_config):
+        """The paper's n x m grid methodology: prefixes of a bigger matrix."""
+        sub = small_matrix.subsample(20, 10)
+        result = LemonTreeLearner(fast_config).learn(sub, seed=14)
+        assert result.network.n_vars == 20

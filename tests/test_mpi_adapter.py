@@ -1,0 +1,62 @@
+"""Contract tests for the communicator implementations.
+
+Real-MPI runs require mpi4py + mpirun and are exercised only where
+available; the interface-parity checks below guarantee the SPMD learner
+stays runnable on every communicator.
+"""
+
+import importlib.util
+
+import pytest
+
+from repro.parallel.comm import SerialComm, ThreadComm, _Context
+from repro.parallel.mpi_adapter import COMM_INTERFACE, MpiComm
+
+HAS_MPI = importlib.util.find_spec("mpi4py") is not None
+
+
+class TestInterfaceParity:
+    @pytest.mark.parametrize("cls", [ThreadComm, SerialComm, MpiComm])
+    def test_all_methods_present(self, cls):
+        for name in COMM_INTERFACE:
+            assert hasattr(cls, name) or name in getattr(cls, "__slots__", ()) or name in (
+                "rank",
+                "size",
+            ), f"{cls.__name__} missing {name}"
+
+    def test_thread_comm_has_attributes(self):
+        comm = ThreadComm(_Context(1), 0)
+        for name in COMM_INTERFACE:
+            assert hasattr(comm, name)
+
+    def test_serial_comm_has_attributes(self):
+        comm = SerialComm()
+        for name in COMM_INTERFACE:
+            assert hasattr(comm, name)
+
+
+class TestWithoutMpi:
+    @pytest.mark.skipif(HAS_MPI, reason="mpi4py present")
+    def test_helpful_error_without_mpi4py(self):
+        with pytest.raises(RuntimeError, match="mpi4py is not installed"):
+            MpiComm()
+
+
+@pytest.mark.skipif(not HAS_MPI, reason="mpi4py not installed")
+class TestWithMpi:  # pragma: no cover - exercised on MPI-enabled hosts
+    def test_single_rank_collectives(self):
+        comm = MpiComm()
+        assert comm.size >= 1
+        assert comm.allreduce(1) == comm.size
+        assert comm.bcast("x") == "x"
+
+    def test_engine_runs_under_mpi(self, tiny_matrix, fast_config):
+        from repro.core.learner import LemonTreeLearner
+        from repro.parallel.engine import ParallelLearner
+
+        comm = MpiComm()
+        network, _work = ParallelLearner(fast_config).learn_with_comm(
+            comm, tiny_matrix, seed=3
+        )
+        sequential = LemonTreeLearner(fast_config).learn(tiny_matrix, seed=3)
+        assert network == sequential.network

@@ -1,0 +1,94 @@
+"""Tests for network serialization (JSON / XML)."""
+
+import json
+import xml.etree.ElementTree as ET
+
+import pytest
+
+from repro.core.learner import LemonTreeLearner
+from repro.core.output import network_from_json, network_to_json, network_to_xml
+
+
+@pytest.fixture(scope="module")
+def learned(tiny_matrix_module):
+    from repro.core.config import LearnerConfig
+
+    return LemonTreeLearner(LearnerConfig(max_sampling_steps=5)).learn(
+        tiny_matrix_module, seed=1
+    )
+
+
+@pytest.fixture(scope="module")
+def tiny_matrix_module():
+    from repro.data.synthetic import make_module_dataset
+
+    return make_module_dataset(24, 12, n_modules=3, seed=42).matrix
+
+
+class TestJson:
+    def test_roundtrip_preserves_network(self, learned):
+        document = network_to_json(learned.network)
+        restored = network_from_json(document)
+        assert restored == learned.network
+
+    def test_valid_json(self, learned):
+        payload = json.loads(network_to_json(learned.network))
+        assert "modules" in payload and "var_names" in payload
+
+    def test_roundtrip_preserves_trees(self, learned):
+        restored = network_from_json(network_to_json(learned.network))
+        for orig, back in zip(learned.network.modules, restored.modules):
+            assert len(orig.trees) == len(back.trees)
+            for t_orig, t_back in zip(orig.trees, back.trees):
+                orig_nodes = t_orig.internal_nodes()
+                back_nodes = t_back.internal_nodes()
+                assert len(orig_nodes) == len(back_nodes)
+                for a, b in zip(orig_nodes, back_nodes):
+                    assert a.node_id == b.node_id
+                    assert len(a.weighted_splits) == len(b.weighted_splits)
+
+    def test_roundtrip_preserves_parent_scores(self, learned):
+        restored = network_from_json(network_to_json(learned.network))
+        for orig, back in zip(learned.network.modules, restored.modules):
+            assert orig.weighted_parents == back.weighted_parents
+            assert orig.uniform_parents == back.uniform_parents
+
+    def test_deterministic_output(self, learned):
+        assert network_to_json(learned.network) == network_to_json(learned.network)
+
+
+class TestXml:
+    def test_well_formed(self, learned):
+        document = network_to_xml(learned.network)
+        root = ET.fromstring(document)
+        assert root.tag == "ModuleNetwork"
+
+    def test_module_count_attribute(self, learned):
+        root = ET.fromstring(network_to_xml(learned.network))
+        assert int(root.get("modules")) == learned.network.n_modules
+        assert len(root.findall("Module")) == learned.network.n_modules
+
+    def test_members_carry_names(self, learned):
+        root = ET.fromstring(network_to_xml(learned.network))
+        for module_el, module in zip(root.findall("Module"), learned.network.modules):
+            names = [
+                var.get("name") for var in module_el.find("Members").findall("Variable")
+            ]
+            assert names == [learned.network.var_names[v] for v in module.members]
+
+    def test_parents_listed(self, learned):
+        root = ET.fromstring(network_to_xml(learned.network))
+        total_parents = sum(
+            len(m.findall("Parents/Parent")) for m in root.findall("Module")
+        )
+        expected = sum(
+            len(m.weighted_parents) + len(m.uniform_parents)
+            for m in learned.network.modules
+        )
+        assert total_parents == expected
+
+    def test_trees_nested(self, learned):
+        root = ET.fromstring(network_to_xml(learned.network))
+        for module_el, module in zip(root.findall("Module"), learned.network.modules):
+            trees = module_el.find("RegressionTrees").findall("Tree")
+            assert len(trees) == len(module.trees)

@@ -1,0 +1,144 @@
+"""Tests for the distributed sampling oracles and scans."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.parallel.comm import run_spmd
+from repro.parallel.costmodel import block_range
+from repro.parallel.primitives import (
+    segmented_scan,
+    select_unif_rand,
+    select_wtd_rand_gather,
+    select_wtd_rand_scan,
+)
+from repro.rng.streams import GibbsRandom, make_stream
+
+
+def _rng(seed=1):
+    return GibbsRandom(make_stream(seed, "prim"))
+
+
+class TestSelectUnifRand:
+    def test_matches_sequential_randint(self):
+        a = select_unif_rand(_rng(3), 17)
+        assert a == _rng(3).randint(17)
+
+
+class TestSelectWtdRandGather:
+    """The gather oracle must agree with the sequential choice bit-for-bit
+    for every block distribution — the engine's consistency lever."""
+
+    @pytest.mark.parametrize("p", [1, 2, 3, 5])
+    def test_matches_sequential(self, p):
+        scores = np.array([0.0, 0.7, -0.3, 0.2, 1.1, -2.0, 0.05])
+
+        def fn(comm):
+            lo, hi = block_range(scores.size, comm.size, comm.rank)
+            return select_wtd_rand_gather(comm, _rng(11), scores[lo:hi])
+
+        expected = _rng(11).weighted_choice_logs(scores)
+        assert run_spmd(p, fn) == [expected] * p
+
+    @given(seed=st.integers(0, 100), size=st.integers(1, 12))
+    @settings(max_examples=30, deadline=None)
+    def test_agreement_over_random_inputs(self, seed, size):
+        rng = np.random.default_rng(seed)
+        scores = rng.normal(size=size)
+
+        def fn(comm):
+            lo, hi = block_range(scores.size, comm.size, comm.rank)
+            return select_wtd_rand_gather(comm, _rng(seed), scores[lo:hi])
+
+        expected = _rng(seed).weighted_choice_logs(scores)
+        assert run_spmd(3, fn) == [expected] * 3
+
+
+class TestSelectWtdRandScan:
+    """The partial-sum oracle (paper's O(|B|/p) formulation)."""
+
+    @pytest.mark.parametrize("p", [1, 2, 4])
+    def test_well_separated_weights_agree_with_gather(self, p):
+        scores = np.array([-10.0, 5.0, -8.0, 0.0, -3.0])
+
+        def fn(comm):
+            lo, hi = block_range(scores.size, comm.size, comm.rank)
+            return select_wtd_rand_scan(comm, _rng(7), scores[lo:hi])
+
+        expected = _rng(7).weighted_choice_logs(scores)
+        assert run_spmd(p, fn) == [expected] * p
+
+    def test_all_impossible_falls_back_uniform(self):
+        scores = np.full(6, -np.inf)
+
+        def fn(comm):
+            lo, hi = block_range(scores.size, comm.size, comm.rank)
+            return select_wtd_rand_scan(comm, _rng(9), scores[lo:hi])
+
+        results = run_spmd(2, fn)
+        assert all(0 <= r < 6 for r in results)
+        assert len(set(results)) == 1
+
+    def test_consumes_one_replicated_uniform(self):
+        """Statistical agreement with the sequential distribution."""
+        scores = np.log(np.array([1.0, 3.0]))
+        picks = []
+        for seed in range(300):
+            def fn(comm, s=seed):
+                lo, hi = block_range(2, comm.size, comm.rank)
+                return select_wtd_rand_scan(comm, _rng(s + 500), scores[lo:hi])
+
+            picks.append(run_spmd(2, fn)[0])
+        assert abs(np.mean(picks) - 0.75) < 0.07
+
+    def test_empty_rank_blocks(self):
+        scores = np.array([0.0, 1.0])
+
+        def fn(comm):
+            lo, hi = block_range(scores.size, comm.size, comm.rank)
+            return select_wtd_rand_scan(comm, _rng(13), scores[lo:hi])
+
+        results = run_spmd(5, fn)  # ranks 2-4 own nothing
+        assert len(set(results)) == 1
+
+
+class TestSegmentedScan:
+    def test_basic(self):
+        values = np.array([1.0, 2.0, 3.0, 4.0, 5.0])
+        segments = np.array([0, 0, 1, 1, 1])
+        np.testing.assert_allclose(
+            segmented_scan(values, segments), [1, 3, 3, 7, 12]
+        )
+
+    def test_single_segment_is_cumsum(self):
+        values = np.arange(6, dtype=float)
+        out = segmented_scan(values, np.zeros(6, dtype=int))
+        np.testing.assert_allclose(out, np.cumsum(values))
+
+    def test_empty(self):
+        out = segmented_scan(np.zeros(0), np.zeros(0, dtype=int))
+        assert out.size == 0
+
+    def test_rejects_decreasing_segments(self):
+        with pytest.raises(ValueError):
+            segmented_scan(np.ones(3), np.array([1, 0, 0]))
+
+    def test_rejects_misaligned(self):
+        with pytest.raises(ValueError):
+            segmented_scan(np.ones(3), np.zeros(2, dtype=int))
+
+    @given(
+        st.lists(st.floats(-10, 10), min_size=1, max_size=40),
+        st.integers(1, 5),
+        st.integers(0, 10**6),
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_matches_per_segment_cumsum(self, values, n_segments, seed):
+        rng = np.random.default_rng(seed)
+        vals = np.array(values)
+        segments = np.sort(rng.integers(0, n_segments, size=vals.size))
+        out = segmented_scan(vals, segments)
+        for seg in np.unique(segments):
+            mask = segments == seg
+            np.testing.assert_allclose(out[mask], np.cumsum(vals[mask]), atol=1e-9)

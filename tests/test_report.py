@@ -1,0 +1,61 @@
+"""Tests for the network report generator."""
+
+import pytest
+
+from repro.analysis.report import network_report, parent_score_summary
+from repro.core.learner import LemonTreeLearner
+from repro.datatypes import Module, ModuleNetwork
+
+
+@pytest.fixture(scope="module")
+def learned_network(request):
+    from repro.core.config import LearnerConfig
+    from repro.data.synthetic import make_module_dataset
+
+    matrix = make_module_dataset(24, 12, n_modules=3, seed=42).matrix
+    return LemonTreeLearner(LearnerConfig(max_sampling_steps=5)).learn(
+        matrix, seed=1
+    ).network
+
+
+class TestNetworkReport:
+    def test_contains_headline_stats(self, learned_network):
+        report = network_report(learned_network)
+        assert f"{learned_network.n_vars} variables" in report
+        assert f"{learned_network.n_modules} modules" in report
+        assert "module graph:" in report
+
+    def test_lists_every_module(self, learned_network):
+        report = network_report(learned_network)
+        for module in learned_network.modules:
+            assert f"M{module.module_id} ({module.size} variables)" in report
+
+    def test_respects_top_regulators(self, learned_network):
+        short = network_report(learned_network, top_regulators=1)
+        long = network_report(learned_network, top_regulators=10)
+        assert len(long) >= len(short)
+
+    def test_tree_shapes_reported(self, learned_network):
+        report = network_report(learned_network)
+        assert "leaves" in report and "depth" in report
+
+    def test_handles_network_without_parents(self):
+        network = ModuleNetwork(
+            [Module(module_id=0, members=[0, 1])], ["a", "b"], n_obs=4
+        )
+        report = network_report(network)
+        assert "(none retained)" in report
+        assert "(acyclic)" in report
+
+
+class TestParentScoreSummary:
+    def test_summary_fields(self, learned_network):
+        summary = parent_score_summary(learned_network)
+        assert summary["n_weighted_parents"] >= 0
+        if summary["n_weighted_parents"]:
+            assert 0.0 <= summary["weighted_mean"] <= 1.0
+
+    def test_empty_network(self):
+        network = ModuleNetwork([Module(module_id=0, members=[0])], ["a"], n_obs=2)
+        summary = parent_score_summary(network)
+        assert summary["n_weighted_parents"] == 0.0

@@ -1,0 +1,140 @@
+"""Tests for the counter-based Philox stream."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.rng.philox import PhiloxStream, derive_key
+
+
+class TestDeriveKey:
+    def test_deterministic(self):
+        assert derive_key(1, "a", 2) == derive_key(1, "a", 2)
+
+    def test_seed_sensitivity(self):
+        assert derive_key(1, "a") != derive_key(2, "a")
+
+    def test_path_sensitivity(self):
+        assert derive_key(1, "a") != derive_key(1, "b")
+        assert derive_key(1, "a", 0) != derive_key(1, "a", 1)
+
+    def test_path_order_matters(self):
+        assert derive_key(1, "a", "b") != derive_key(1, "b", "a")
+
+    def test_fits_in_64_bits(self):
+        for seed in (0, 1, 2**63, 2**64 - 1):
+            assert 0 <= derive_key(seed, "x") < 2**64
+
+    def test_empty_path(self):
+        assert derive_key(7) == 7  # no mixing without path parts
+
+
+class TestSequentialDraws:
+    def test_uniform_range(self):
+        stream = PhiloxStream(1)
+        draws = stream.next_uniforms(1000)
+        assert (draws >= 0).all() and (draws < 1).all()
+
+    def test_deterministic_replay(self):
+        a = PhiloxStream(5, "x").next_uniforms(64)
+        b = PhiloxStream(5, "x").next_uniforms(64)
+        np.testing.assert_array_equal(a, b)
+
+    def test_offset_advances(self):
+        stream = PhiloxStream(1)
+        assert stream.offset == 0
+        stream.next_uniform()
+        assert stream.offset == 1
+        stream.next_uniforms(10)
+        assert stream.offset == 11
+
+    def test_scalar_matches_vector(self):
+        vec = PhiloxStream(9).next_uniforms(8)
+        stream = PhiloxStream(9)
+        scalars = [stream.next_uniform() for _ in range(8)]
+        np.testing.assert_allclose(scalars, vec)
+
+    def test_mean_is_centered(self):
+        draws = PhiloxStream(3).next_uniforms(20000)
+        assert abs(draws.mean() - 0.5) < 0.01
+
+
+class TestBlockAccess:
+    @given(start=st.integers(0, 500), count=st.integers(0, 64))
+    @settings(max_examples=50, deadline=None)
+    def test_block_matches_sequential(self, start, count):
+        reference = PhiloxStream(11, "blk").next_uniforms(start + count)
+        block = PhiloxStream(11, "blk").block(start, count)
+        np.testing.assert_array_equal(block, reference[start : start + count])
+
+    def test_block_does_not_move_position(self):
+        stream = PhiloxStream(2)
+        stream.block(100, 10)
+        assert stream.offset == 0
+
+    def test_adjacent_blocks_tile_the_stream(self):
+        stream = PhiloxStream(4)
+        whole = stream.block(0, 30)
+        parts = np.concatenate([stream.block(0, 7), stream.block(7, 13), stream.block(20, 10)])
+        np.testing.assert_array_equal(whole, parts)
+
+    def test_jump_to(self):
+        stream = PhiloxStream(6)
+        ref = stream.block(0, 20)
+        stream.jump_to(12)
+        assert stream.next_uniform() == ref[12]
+
+    def test_unaligned_offsets(self):
+        # Philox granule is 4 draws; every residue class must work.
+        ref = PhiloxStream(8).next_uniforms(32)
+        for start in range(9):
+            got = PhiloxStream(8).block(start, 5)
+            np.testing.assert_array_equal(got, ref[start : start + 5])
+
+
+class TestSplitting:
+    def test_split_gives_independent_streams(self):
+        parent = PhiloxStream(1)
+        a = parent.split("child", 0).next_uniforms(100)
+        b = parent.split("child", 1).next_uniforms(100)
+        assert not np.allclose(a, b)
+
+    def test_split_is_deterministic(self):
+        a = PhiloxStream(1).split("c").next_uniforms(10)
+        b = PhiloxStream(1).split("c").next_uniforms(10)
+        np.testing.assert_array_equal(a, b)
+
+    def test_nested_split_equals_flat_path(self):
+        nested = PhiloxStream(1).split("a").split("b").next_uniforms(5)
+        flat = PhiloxStream(1, "a", "b").next_uniforms(5)
+        np.testing.assert_array_equal(nested, flat)
+
+    def test_clone_preserves_position(self):
+        stream = PhiloxStream(1)
+        stream.next_uniforms(17)
+        clone = stream.clone()
+        np.testing.assert_array_equal(clone.next_uniforms(5), stream.next_uniforms(5))
+
+
+class TestReplication:
+    """The replicated-stream contract of Section 4.2: identical seeds and
+    call sequences yield identical draws on every (simulated) rank."""
+
+    def test_lockstep_ranks_agree(self):
+        ranks = [PhiloxStream(99, "replicated") for _ in range(4)]
+        for _ in range(20):
+            draws = [stream.next_uniform() for stream in ranks]
+            assert len(set(draws)) == 1
+
+    @pytest.mark.parametrize("n_blocks", [1, 2, 3, 7])
+    def test_block_split_is_partition_invariant(self, n_blocks):
+        """Block-splitting the stream across ranks covers the same draws."""
+        total = 42
+        whole = PhiloxStream(5, "w").block(0, total)
+        bounds = np.linspace(0, total, n_blocks + 1).astype(int)
+        parts = [
+            PhiloxStream(5, "w").block(int(lo), int(hi - lo))
+            for lo, hi in zip(bounds[:-1], bounds[1:])
+        ]
+        np.testing.assert_array_equal(np.concatenate(parts), whole)

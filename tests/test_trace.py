@@ -1,0 +1,191 @@
+"""Tests for work traces and run-time projection."""
+
+import numpy as np
+import pytest
+
+from repro.core.learner import LemonTreeLearner
+from repro.parallel.costmodel import MachineModel
+from repro.parallel.trace import (
+    ProjectedTime,
+    TraceStep,
+    WorkTrace,
+    project_time,
+    scaling_curve,
+)
+
+FREE_COMM = MachineModel(tau=0.0, mu=0.0)
+
+
+def _synthetic_trace():
+    trace = WorkTrace()
+    trace.record("ganesh.var_reassign", np.full(8, 10.0), n_collectives=2)
+    trace.record("ganesh.var_reassign", np.full(8, 10.0), n_collectives=2)
+    trace.record("modules.split_scoring", np.full(100, 2.0), n_collectives=1)
+    trace.record("modules.split_scoring", np.full(100, 2.0), n_collectives=1)
+    trace.mark_time("ganesh", 4.0)
+    trace.mark_time("consensus", 0.5)
+    trace.mark_time("modules", 8.0)
+    return trace
+
+
+class TestWorkTrace:
+    def test_total_units(self):
+        trace = _synthetic_trace()
+        assert trace.total_units() == 160 + 400
+        assert trace.total_units("ganesh") == 160
+        assert trace.total_units("modules") == 400
+
+    def test_rate_calibration(self):
+        trace = _synthetic_trace()
+        assert trace.rate("ganesh") == pytest.approx(160 / 4.0)
+        assert trace.rate("modules") == pytest.approx(400 / 8.0)
+
+    def test_rate_without_time_is_inf(self):
+        trace = WorkTrace()
+        trace.record("ganesh.x", np.ones(3))
+        assert trace.rate("ganesh") == float("inf")
+
+    def test_mark_time_accumulates(self):
+        trace = WorkTrace()
+        trace.mark_time("ganesh", 1.0)
+        trace.mark_time("ganesh", 2.0)
+        assert trace.times["ganesh"] == 3.0
+
+    def test_mark_time_rejects_unknown_task(self):
+        with pytest.raises(ValueError):
+            WorkTrace().mark_time("nonsense", 1.0)
+
+    def test_phase_units(self):
+        units = _synthetic_trace().phase_units()
+        assert units["ganesh.var_reassign"] == 160
+        assert units["modules.split_scoring"] == 400
+
+    def test_bulk_costs_concatenate(self):
+        trace = _synthetic_trace()
+        assert trace.bulk_costs("modules.split_scoring").size == 200
+
+    def test_step_task_parsing(self):
+        step = TraceStep("modules.split_scoring", np.ones(1))
+        assert step.task == "modules"
+
+
+class TestProjection:
+    def test_t1_matches_measured_time(self):
+        """Calibration anchor: the projected single-rank time equals the
+        measured sequential time exactly."""
+        trace = _synthetic_trace()
+        projected = project_time(trace, 1)
+        assert projected.total == pytest.approx(4.0 + 0.5 + 8.0)
+
+    def test_perfect_scaling_without_comm(self):
+        trace = _synthetic_trace()
+        p2 = project_time(trace, 2, model=FREE_COMM)
+        assert p2.ganesh == pytest.approx(2.0)
+        assert p2.modules == pytest.approx(4.0)
+        assert p2.consensus == pytest.approx(0.5)  # sequential always
+
+    def test_consensus_independent_of_p(self):
+        trace = _synthetic_trace()
+        assert project_time(trace, 64).consensus == project_time(trace, 1).consensus
+
+    def test_comm_overhead_grows_with_p(self):
+        trace = _synthetic_trace()
+        heavy = MachineModel(tau=1.0, mu=1e-3)  # latency-dominated machine
+        t4 = project_time(trace, 4, model=heavy).total
+        t1024 = project_time(trace, 1024, model=heavy).total
+        assert t1024 > t4  # comm term (log2 p) dominates once compute shrinks
+
+    def test_monotone_compute_decrease(self):
+        trace = _synthetic_trace()
+        times = [project_time(trace, p, model=FREE_COMM).total for p in (1, 2, 4, 8)]
+        assert all(a >= b for a, b in zip(times, times[1:]))
+
+    def test_bulk_phase_partitions_once(self):
+        """Two recorded bulk steps of 100 items each must be partitioned as
+        one 200-item list: with p=2 each rank gets 100 items, not the
+        stepwise 2 x max(50)."""
+        trace = WorkTrace()
+        trace.record("modules.split_scoring", np.array([8.0] * 10), n_collectives=0)
+        trace.record("modules.split_scoring", np.array([1.0] * 10), n_collectives=0)
+        trace.mark_time("modules", 90.0)  # rate = 1 unit/sec
+        projected = project_time(trace, 2, model=FREE_COMM)
+        # Flat list = [8]*10 + [1]*10; blocks of 10 -> max = 80.
+        assert projected.modules == pytest.approx(80.0)
+
+    def test_stepwise_phase_partitions_each_step(self):
+        trace = WorkTrace()
+        trace.record("ganesh.var_reassign", np.array([8.0] * 10), n_collectives=0)
+        trace.record("ganesh.var_reassign", np.array([1.0] * 10), n_collectives=0)
+        trace.mark_time("ganesh", 90.0)
+        projected = project_time(trace, 2, model=FREE_COMM)
+        assert projected.ganesh == pytest.approx(40.0 + 5.0)
+
+    def test_rejects_bad_p(self):
+        with pytest.raises(ValueError):
+            project_time(_synthetic_trace(), 0)
+
+    def test_compute_scale(self):
+        trace = _synthetic_trace()
+        base = project_time(trace, 1)
+        scaled = project_time(trace, 1, compute_scale=4.0)
+        assert scaled.total == pytest.approx(base.total * 4.0)
+
+    def test_rejects_bad_scale(self):
+        with pytest.raises(ValueError):
+            project_time(_synthetic_trace(), 2, compute_scale=0.0)
+
+    def test_scaling_curve(self):
+        curve = scaling_curve(_synthetic_trace(), [1, 2, 4])
+        assert [pt.p for pt in curve] == [1, 2, 4]
+        assert all(isinstance(pt, ProjectedTime) for pt in curve)
+
+
+class TestGroupParallelGanesh:
+    def _multi_run_trace(self):
+        trace = WorkTrace()
+        for run in range(4):
+            trace.record("ganesh.var_reassign", np.full(10, 5.0), run=run)
+        trace.mark_time("ganesh", 4.0)
+        trace.n_ganesh_runs = 4
+        return trace
+
+    def test_groups_run_concurrently(self):
+        """4 runs on p=4: each group of 1 rank does one run -> total time is
+        one run's time, not four."""
+        trace = self._multi_run_trace()
+        t = project_time(trace, 4, model=FREE_COMM)
+        assert t.ganesh == pytest.approx(1.0)
+
+    def test_waves_when_fewer_ranks_than_runs(self):
+        trace = self._multi_run_trace()
+        t = project_time(trace, 2, model=FREE_COMM)
+        assert t.ganesh == pytest.approx(2.0)  # 2 waves of 2 concurrent runs
+
+    def test_disabled_grouping_serializes(self):
+        trace = self._multi_run_trace()
+        t = project_time(trace, 4, model=FREE_COMM, group_parallel_ganesh=False)
+        # 4 runs in sequence, each 10x5 units split over 4 ranks:
+        # max block = 3 items -> 15 units at rate 50/s = 0.3 s per run.
+        assert t.ganesh == pytest.approx(4 * 15 / 50)
+
+    def test_breakdown_sums_to_total(self):
+        trace = _synthetic_trace()
+        pt = project_time(trace, 8)
+        assert pt.total == pytest.approx(sum(pt.breakdown().values()))
+
+
+class TestLearnerIntegration:
+    def test_trace_from_real_run_projects(self, tiny_matrix, fast_config):
+        trace = WorkTrace()
+        result = LemonTreeLearner(fast_config).learn(tiny_matrix, seed=1, trace=trace)
+        assert trace.total_units() > 0
+        t1 = project_time(trace, 1)
+        assert t1.total == pytest.approx(result.task_times.total, rel=1e-6)
+        t8 = project_time(trace, 8)
+        assert t8.total < t1.total
+
+    def test_split_imbalance_metric(self, tiny_matrix, fast_config):
+        trace = WorkTrace()
+        LemonTreeLearner(fast_config).learn(tiny_matrix, seed=1, trace=trace)
+        imb = trace.split_imbalance(4)
+        assert imb >= 0.0

@@ -1,0 +1,89 @@
+"""Tests for trace persistence and paper-scale projection parameters."""
+
+import numpy as np
+import pytest
+
+from repro.core.learner import LemonTreeLearner
+from repro.parallel.costmodel import MachineModel
+from repro.parallel.trace import WorkTrace, load_trace, project_time, save_trace
+
+
+def _trace():
+    trace = WorkTrace()
+    trace.record("ganesh.var_reassign", np.array([1.0, 2.0, 3.0]), run=0)
+    trace.record("modules.split_scoring", np.arange(10, dtype=float), n_collectives=1, words=4)
+    trace.mark_time("ganesh", 1.0)
+    trace.mark_time("consensus", 0.2)
+    trace.mark_time("modules", 3.0)
+    return trace
+
+
+class TestSaveLoad:
+    def test_roundtrip_preserves_everything(self, tmp_path):
+        trace = _trace()
+        path = tmp_path / "trace.npz"
+        save_trace(trace, path)
+        back = load_trace(path)
+        assert back.times == trace.times
+        assert back.n_ganesh_runs == trace.n_ganesh_runs == 1
+        assert len(back.steps) == len(trace.steps)
+        for a, b in zip(trace.steps, back.steps):
+            assert a.phase == b.phase
+            assert a.n_collectives == b.n_collectives
+            assert a.words == b.words
+            assert a.run == b.run
+            np.testing.assert_array_equal(a.costs, b.costs)
+
+    def test_roundtrip_preserves_projection(self, tmp_path):
+        trace = _trace()
+        path = tmp_path / "trace.npz"
+        save_trace(trace, path)
+        back = load_trace(path)
+        for p in (1, 4, 64):
+            assert project_time(back, p).total == pytest.approx(
+                project_time(trace, p).total
+            )
+
+    def test_real_learner_trace_roundtrip(self, tmp_path, tiny_matrix, fast_config):
+        trace = WorkTrace()
+        LemonTreeLearner(fast_config).learn(tiny_matrix, seed=1, trace=trace)
+        path = tmp_path / "real.npz"
+        save_trace(trace, path)
+        back = load_trace(path)
+        assert back.total_units() == pytest.approx(trace.total_units())
+        assert back.split_imbalance(8) == pytest.approx(trace.split_imbalance(8))
+
+
+class TestPaperScaleProjection:
+    def test_consensus_scaled_separately(self):
+        trace = _trace()
+        pt = project_time(trace, 1, compute_scale=100.0, consensus_scale=4.0)
+        assert pt.consensus == pytest.approx(0.2 * 4.0)
+        assert pt.ganesh + pt.modules == pytest.approx((1.0 + 3.0) * 100.0)
+
+    def test_consensus_defaults_to_compute_scale(self):
+        trace = _trace()
+        pt = project_time(trace, 1, compute_scale=10.0)
+        assert pt.consensus == pytest.approx(2.0)
+
+    def test_comm_scale_raises_collective_cost(self):
+        trace = _trace()
+        model = MachineModel(tau=1e-3, mu=1e-6)
+        base = project_time(trace, 64, model=model).total
+        scaled = project_time(trace, 64, model=model, comm_scale=10.0).total
+        assert scaled > base
+
+    def test_rejects_bad_scales(self):
+        trace = _trace()
+        with pytest.raises(ValueError):
+            project_time(trace, 2, comm_scale=0.0)
+        with pytest.raises(ValueError):
+            project_time(trace, 2, consensus_scale=-1.0)
+
+    def test_paper_scale_t1_identity(self):
+        """compute_scale = consensus_scale = s multiplies T_1 by exactly s
+        — the anchor the Section 5.2.2 benches rely on."""
+        trace = _trace()
+        t1 = project_time(trace, 1).total
+        scaled = project_time(trace, 1, compute_scale=7.0, consensus_scale=7.0).total
+        assert scaled == pytest.approx(7.0 * t1)

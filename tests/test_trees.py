@@ -1,0 +1,231 @@
+"""Tests for regression-tree building, split scoring and parent learning."""
+
+import numpy as np
+import pytest
+
+from repro.datatypes import Split, TreeNode
+from repro.rng.streams import GibbsRandom, IndexedStream, make_stream
+from repro.scoring.split_score import SplitScorer
+from repro.trees.hierarchy import build_tree_structure, leaf_order
+from repro.trees.parents import accumulate_parent_scores
+from repro.trees.splits import (
+    margins_from_arrays,
+    node_margins,
+    node_posteriors,
+    score_node_splits,
+    select_node_splits,
+)
+
+
+def _block_and_labels(seed=0, n=4, m=12, k=4):
+    rng = np.random.default_rng(seed)
+    block = rng.normal(size=(n, m))
+    labels = rng.integers(0, k, size=m)
+    return block, labels
+
+
+class TestLeafOrder:
+    def test_orders_by_mean(self):
+        block = np.array([[0.0, 0.0, 5.0, 5.0, -3.0, -3.0]])
+        labels = np.array([0, 0, 1, 1, 2, 2])
+        leaves = leaf_order(block, labels)
+        means = [float(block[:, obs].mean()) for obs in leaves]
+        assert means == sorted(means)
+
+    def test_skips_empty_clusters(self):
+        block = np.ones((1, 3))
+        leaves = leaf_order(block, np.array([0, 2, 2]))
+        assert len(leaves) == 2
+
+
+class TestBuildTree:
+    def test_root_covers_all_observations(self):
+        block, labels = _block_and_labels()
+        tree = build_tree_structure(block, labels, module_id=0)
+        np.testing.assert_array_equal(
+            tree.root.observations, np.arange(block.shape[1])
+        )
+
+    def test_binary_and_consistent(self):
+        block, labels = _block_and_labels(seed=1)
+        tree = build_tree_structure(block, labels, module_id=0)
+        for node in tree.root.internal_nodes():
+            assert node.left is not None and node.right is not None
+            merged = np.sort(
+                np.concatenate([node.left.observations, node.right.observations])
+            )
+            np.testing.assert_array_equal(node.observations, merged)
+
+    def test_leaves_are_clusters(self):
+        block, labels = _block_and_labels(seed=2)
+        tree = build_tree_structure(block, labels, module_id=0)
+        n_clusters = len(set(labels.tolist()))
+        assert tree.n_leaves() == n_clusters
+        assert len(tree.internal_nodes()) == n_clusters - 1
+
+    def test_single_cluster_tree_has_no_internal_nodes(self):
+        block = np.ones((2, 5))
+        tree = build_tree_structure(block, np.zeros(5, dtype=int), module_id=0)
+        assert tree.root.is_leaf
+        assert tree.internal_nodes() == []
+
+    def test_deterministic(self):
+        block, labels = _block_and_labels(seed=3)
+        a = build_tree_structure(block, labels, module_id=0)
+        b = build_tree_structure(block, labels, module_id=0)
+        sig = lambda t: [tuple(n.observations.tolist()) for n in t.internal_nodes()]
+        assert sig(a) == sig(b)
+
+    def test_similar_leaves_merge_first(self):
+        """Two near-identical observation clusters must merge before a
+        distant one joins."""
+        block = np.array([[0.0, 0.05, 10.0, 0.1, 10.2, 10.1]])
+        labels = np.array([0, 0, 1, 2, 1, 1])
+        tree = build_tree_structure(block, labels, module_id=0)
+        # Root's two children should separate {low values} from {high}.
+        left_mean = block[:, tree.root.left.observations].mean()
+        right_mean = block[:, tree.root.right.observations].mean()
+        assert abs(left_mean - right_mean) > 5.0
+
+    def test_node_ids_unique(self):
+        block, labels = _block_and_labels(seed=4)
+        tree = build_tree_structure(block, labels, module_id=0)
+        ids = [n.node_id for n in tree.root.internal_nodes()] + [
+            n.node_id for n in tree.root.leaves()
+        ]
+        assert len(ids) == len(set(ids))
+
+
+def _scored_node(seed=0, n_vars=6, m=10):
+    """Build a small tree and score one internal node."""
+    rng = np.random.default_rng(seed)
+    data = rng.normal(size=(n_vars, m))
+    block = data[:3]
+    labels = rng.integers(0, 3, size=m)
+    tree = build_tree_structure(block, labels, module_id=0)
+    nodes = tree.internal_nodes()
+    assert nodes, "need an internal node"
+    scorer = SplitScorer(max_steps=5)
+    istream = IndexedStream(make_stream(seed, "splits", 0), scorer.draws_per_item)
+    parents = np.arange(n_vars)
+    scores = score_node_splits(data, 0, 0, nodes[0], parents, scorer, istream, 0)
+    return data, nodes[0], scores
+
+
+class TestMargins:
+    def test_shape(self):
+        data, node, _ = _scored_node()
+        margins = node_margins(data, node, np.arange(6))
+        n_obs = node.observations.size
+        assert margins.shape == (6 * n_obs, n_obs)
+
+    def test_orientation(self):
+        """Margin of observation o for split (l, v): positive when the
+        observation falls on its child's correct side of v."""
+        data = np.array([[1.0, 2.0, 3.0, 4.0]])
+        left = TreeNode(0, np.array([0, 1]))
+        right = TreeNode(1, np.array([2, 3]))
+        node = TreeNode(2, np.array([0, 1, 2, 3]), left=left, right=right)
+        margins = node_margins(data, node, np.array([0]))
+        # Split value between children, e.g. v = data[0, 1] = 2.0:
+        row = margins[1]  # candidate value v = 2.0
+        # left obs (values 1, 2): margin = v - x -> [1, 0]
+        # right obs (values 3, 4): margin = x - v -> [1, 2]
+        np.testing.assert_allclose(row, [1.0, 0.0, 1.0, 2.0])
+
+    def test_margins_from_arrays_matches_node(self):
+        data, node, _ = _scored_node(seed=1)
+        a = node_margins(data, node, np.arange(6))
+        b = margins_from_arrays(
+            data, node.observations, node.left.observations, np.arange(6)
+        )
+        np.testing.assert_array_equal(a, b)
+
+
+class TestScoreNodeSplits:
+    def test_output_shapes(self):
+        _, node, scores = _scored_node()
+        n = scores.n_splits
+        assert scores.log_scores.shape == (n,)
+        assert scores.steps.shape == (n,)
+        assert scores.accepted.shape == (n,)
+        assert n == 6 * node.observations.size
+
+    def test_split_identity_mapping(self):
+        data, node, scores = _scored_node(seed=2)
+        n_obs = scores.n_obs
+        local = n_obs + 2  # parent 1, obs index 2
+        assert scores.split_parent(local) == 1
+        assert scores.split_value(data, local) == data[1, node.observations[2]]
+
+    def test_work_units(self):
+        _, _, scores = _scored_node(seed=3)
+        np.testing.assert_array_equal(
+            scores.work_units(), scores.steps * scores.n_obs
+        )
+
+    def test_deterministic(self):
+        _, _, a = _scored_node(seed=4)
+        _, _, b = _scored_node(seed=4)
+        np.testing.assert_array_equal(a.log_scores, b.log_scores)
+
+
+class TestPosteriorsAndSelection:
+    def test_posteriors_normalize_over_retained(self):
+        _, _, scores = _scored_node(seed=5)
+        post = node_posteriors(scores)
+        if scores.accepted.any():
+            assert post.sum() == pytest.approx(1.0)
+            assert (post[~scores.accepted] == 0).all()
+        else:
+            assert (post == 0).all()
+
+    def test_selection_counts(self):
+        data, _, scores = _scored_node(seed=6)
+        rng = GibbsRandom(make_stream(1, "sel"))
+        weighted, uniform = select_node_splits(data, scores, rng, n_select=3)
+        assert len(uniform) == 3
+        assert len(weighted) in (0, 3)
+
+    def test_selected_splits_reference_node(self):
+        data, node, scores = _scored_node(seed=7)
+        rng = GibbsRandom(make_stream(2, "sel"))
+        weighted, uniform = select_node_splits(data, scores, rng, n_select=2)
+        for split in weighted + uniform:
+            assert split.node_id == node.node_id
+            assert split.n_obs == node.observations.size
+            assert 0 <= split.parent < data.shape[0]
+
+    def test_weighted_selection_prefers_high_posterior(self):
+        data, _, scores = _scored_node(seed=8)
+        post = node_posteriors(scores)
+        if not scores.accepted.any():
+            pytest.skip("no retained splits for this seed")
+        rng = GibbsRandom(make_stream(3, "sel"))
+        picks = []
+        for _ in range(50):
+            weighted, _ = select_node_splits(data, scores, rng, n_select=1)
+            picks.append(weighted[0].posterior)
+        assert np.mean(picks) >= post[post > 0].mean() * 0.5
+
+
+class TestParentScores:
+    def test_weighted_average(self):
+        splits = [
+            Split(parent=1, value=0.0, node_id=0, posterior=0.8, n_obs=10),
+            Split(parent=1, value=0.1, node_id=1, posterior=0.4, n_obs=30),
+            Split(parent=2, value=0.2, node_id=0, posterior=0.5, n_obs=10),
+        ]
+        scores = accumulate_parent_scores(splits)
+        assert scores[1] == pytest.approx((0.8 * 10 + 0.4 * 30) / 40)
+        assert scores[2] == pytest.approx(0.5)
+
+    def test_empty(self):
+        assert accumulate_parent_scores([]) == {}
+
+    def test_sorted_keys(self):
+        splits = [
+            Split(parent=5, value=0, node_id=0, posterior=0.1, n_obs=1),
+            Split(parent=2, value=0, node_id=0, posterior=0.1, n_obs=1),
+        ]
+        assert list(accumulate_parent_scores(splits)) == [2, 5]
