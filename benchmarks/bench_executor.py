@@ -1,0 +1,116 @@
+"""Persistent executor vs the seed per-call pool: measured Task 3 speedup.
+
+The seed's only multiprocessing backend (``score_splits_pool``) constructs
+a fresh ``mp.Pool`` — and ships the expression matrix — on every scoring
+call.  This benchmark drives the whole of Task 3 both ways on a synthetic
+workload of 32 small modules and measures the wall-clock win of the
+persistent shared-memory executor, whose pool and matrix transfer are paid
+once per task.  Outputs are verified bit-identical to the sequential
+learner in every configuration, and the speedup record is persisted as
+``benchmarks/results/BENCH_executor.json``.
+
+The workload is deliberately module-rich and per-module-light: that is the
+regime where per-call pool construction dominates, and it is also the
+common real regime (the paper's consensus clustering yields tens to
+hundreds of modules).
+"""
+
+from __future__ import annotations
+
+import time
+
+import numpy as np
+
+from conftest import BENCH_SEED
+from repro.bench import render_table, save_results
+from repro.core.config import LearnerConfig
+from repro.core.learner import LemonTreeLearner
+from repro.data.synthetic import make_module_dataset
+from repro.datatypes import ModuleNetwork
+from repro.parallel.executor import learn_modules_percall_pool
+
+N_WORKERS = 4
+N_MODULES = 32
+
+
+def _workload():
+    config = LearnerConfig(
+        max_sampling_steps=5,
+        # A capped candidate-parent list keeps per-module compute small so
+        # the backends' fixed costs (pool construction, matrix shipping)
+        # are what the measurement exposes.
+        candidate_parents=tuple(range(16)),
+    )
+    matrix = make_module_dataset(64, 28, n_modules=N_MODULES, seed=BENCH_SEED).matrix
+    members = [[2 * i, 2 * i + 1] for i in range(N_MODULES)]
+    return matrix, members, config
+
+
+def test_executor_speedup_over_percall_pool(capsys):
+    matrix, members, config = _workload()
+    data = matrix.values
+    parents = np.asarray(
+        config.resolve_candidate_parents(matrix.n_vars), dtype=np.int64
+    )
+
+    t0 = time.perf_counter()
+    reference = LemonTreeLearner(config).learn_from_modules(
+        matrix, members, seed=BENCH_SEED
+    ).network
+    t_seq = time.perf_counter() - t0
+
+    t0 = time.perf_counter()
+    percall = learn_modules_percall_pool(
+        data, parents, members, config, BENCH_SEED, N_WORKERS
+    )
+    t_percall = time.perf_counter() - t0
+    assert ModuleNetwork(percall, matrix.var_names, matrix.n_obs) == reference
+
+    times = {}
+    for schedule in ("dynamic", "static"):
+        cfg = config.with_updates(
+            n_workers=N_WORKERS, parallel_mode="module", schedule=schedule
+        )
+        t0 = time.perf_counter()
+        result = LemonTreeLearner(cfg).learn_from_modules(
+            matrix, members, seed=BENCH_SEED
+        )
+        times[schedule] = time.perf_counter() - t0
+        assert result.network == reference, f"executor ({schedule}) diverged"
+
+    t_executor = min(times.values())
+    speedup = t_percall / t_executor
+    rows = [
+        ["sequential learner", 1, f"{t_seq:.2f}", "-"],
+        ["per-call pool (seed)", N_WORKERS, f"{t_percall:.2f}", "1.00x"],
+        ["executor (dynamic LPT)", N_WORKERS, f"{times['dynamic']:.2f}",
+         f"{t_percall / times['dynamic']:.2f}x"],
+        ["executor (static)", N_WORKERS, f"{times['static']:.2f}",
+         f"{t_percall / times['static']:.2f}x"],
+    ]
+    table = render_table(
+        f"Task 3 backends on {N_MODULES} modules "
+        f"({matrix.n_vars} x {matrix.n_obs}, bit-identical outputs)",
+        ["backend", "workers", "time (s)", "speedup vs per-call"],
+        rows,
+    )
+    with capsys.disabled():
+        print("\n" + table)
+
+    save_results(
+        "BENCH_executor",
+        {
+            "n_modules": N_MODULES,
+            "n_workers": N_WORKERS,
+            "shape": list(matrix.shape),
+            "sequential_s": t_seq,
+            "percall_pool_s": t_percall,
+            "executor_dynamic_s": times["dynamic"],
+            "executor_static_s": times["static"],
+            "speedup": speedup,
+            "bit_identical": True,
+        },
+    )
+    assert speedup >= 2.0, (
+        f"persistent executor must be >= 2x the per-call pool, got {speedup:.2f}x"
+    )

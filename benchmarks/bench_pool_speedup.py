@@ -80,6 +80,46 @@ def test_pool_split_scoring_speedup(benchmark, capsys):
                 [workers, schedule, f"{elapsed:.2f}",
                  f"{results[(1, 'static')] / elapsed:.2f}x"]
             )
+    # Per-call pool vs persistent executor: score each module's record
+    # group as its own call, the shape Task 3 actually produces.  The
+    # per-call path pays pool construction + matrix transfer per group;
+    # the executor pays both once.
+    from repro.parallel.executor import ModuleExecutor
+
+    groups: dict[int, list] = {}
+    for rec in records:
+        groups.setdefault(rec[0], []).append(rec)
+    max_workers = max(worker_counts)
+
+    t0 = time.perf_counter()
+    percall_parts = [
+        score_splits_pool(
+            data, group, parents, config, seed=BENCH_SEED, n_workers=max_workers
+        )
+        for group in groups.values()
+    ]
+    t_percall_groups = time.perf_counter() - t0
+
+    t0 = time.perf_counter()
+    with ModuleExecutor(
+        data, parents, config, BENCH_SEED, n_workers=max_workers
+    ) as executor:
+        executor_parts = [executor.score_splits(group) for group in groups.values()]
+    t_executor_groups = time.perf_counter() - t0
+
+    for (ps, pt, pa), (es, et, ea) in zip(percall_parts, executor_parts):
+        np.testing.assert_array_equal(ps, es)
+        np.testing.assert_array_equal(pt, et)
+        np.testing.assert_array_equal(pa, ea)
+    rows.append(
+        [max_workers, f"per-call x{len(groups)}", f"{t_percall_groups:.2f}",
+         f"{results[(1, 'static')] / t_percall_groups:.2f}x"]
+    )
+    rows.append(
+        [max_workers, f"executor x{len(groups)}", f"{t_executor_groups:.2f}",
+         f"{results[(1, 'static')] / t_executor_groups:.2f}x"]
+    )
+
     table = render_table(
         f"Real split-scoring speedup on local cores ({n_cores} available)",
         ["workers", "schedule", "time (s)", "speedup"],
@@ -92,7 +132,6 @@ def test_pool_split_scoring_speedup(benchmark, capsys):
     # above).  On a multi-core host, multi-worker runs must actually beat
     # one worker; on a single-core host there is no parallelism to win
     # (workers just time-slice), so only the identity contract applies.
-    max_workers = max(worker_counts)
     if n_cores > 1 and max_workers > 1:
         best = min(
             results[(max_workers, "static")], results[(max_workers, "dynamic")]
@@ -108,6 +147,8 @@ def test_pool_split_scoring_speedup(benchmark, capsys):
         {
             "n_cores": n_cores,
             "times": {f"{w}-{s}": t for (w, s), t in results.items()},
+            "percall_groups_s": t_percall_groups,
+            "executor_groups_s": t_executor_groups,
         },
     )
     benchmark.pedantic(

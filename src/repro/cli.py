@@ -57,6 +57,7 @@ def build_parser() -> argparse.ArgumentParser:
                        help="max discrete sampling steps per split (S)")
     learn.add_argument("--parallel", type=int, default=0, metavar="P",
                        help="run the SPMD parallel learner on P thread ranks")
+    _add_executor_args(learn)
     learn.add_argument("--acyclic", action="store_true",
                        help="post-process the network into a DAG")
     learn.add_argument("--out-json", default=None)
@@ -106,6 +107,7 @@ def build_parser() -> argparse.ArgumentParser:
     modules.add_argument("--sampling-steps", type=int, default=10)
     modules.add_argument("--checkpoint-dir", default=None,
                          help="resume/continue directory for per-module checkpoints")
+    _add_executor_args(modules)
     modules.add_argument("--out-json", default=None)
     modules.add_argument("--out-xml", default=None)
 
@@ -113,6 +115,20 @@ def build_parser() -> argparse.ArgumentParser:
     report.add_argument("--network", required=True, help="network JSON file")
     report.add_argument("--top", type=int, default=3, help="regulators per module")
     return parser
+
+
+def _add_executor_args(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument("--workers", type=int, default=1, metavar="W",
+                        help="worker processes for task 3 (0 = all cores; >1 "
+                             "runs the persistent shared-memory executor)")
+    parser.add_argument("--parallel-mode", choices=["auto", "module", "split"],
+                        default="auto",
+                        help="executor decomposition: whole modules per worker, "
+                             "fine-grained split tasks, or cost-based auto")
+    parser.add_argument("--schedule", choices=["static", "dynamic"],
+                        default="dynamic",
+                        help="executor dispatch: static blocks or dynamic "
+                             "largest-first pulling")
 
 
 def _add_data_args(parser: argparse.ArgumentParser) -> None:
@@ -141,6 +157,9 @@ def _learner_config(args: argparse.Namespace) -> LearnerConfig:
         init_var_clusters=init,
         n_splits_per_node=getattr(args, "splits", 2),
         max_sampling_steps=getattr(args, "sampling_steps", 10),
+        n_workers=getattr(args, "workers", 1),
+        parallel_mode=getattr(args, "parallel_mode", "auto"),
+        schedule=getattr(args, "schedule", "dynamic"),
     )
 
 
@@ -165,7 +184,8 @@ def cmd_learn(args: argparse.Namespace) -> int:
         mode = f"parallel p={args.parallel}"
     else:
         network = LemonTreeLearner(config).learn(matrix, seed=args.seed).network
-        mode = "sequential"
+        workers = config.resolve_n_workers()
+        mode = f"executor w={workers}" if workers > 1 else "sequential"
     elapsed = time.perf_counter() - t0
 
     removed = []
@@ -302,15 +322,19 @@ def cmd_modules(args: argparse.Namespace) -> int:
             f"variables, matrix has {matrix.n_vars}"
         )
     config = LearnerConfig(
-        n_splits_per_node=args.splits, max_sampling_steps=args.sampling_steps
+        n_splits_per_node=args.splits, max_sampling_steps=args.sampling_steps,
+        n_workers=args.workers, parallel_mode=args.parallel_mode,
+        schedule=args.schedule,
     )
     result = LemonTreeLearner(config).learn_from_modules(
         matrix, payload["modules"], seed=args.seed,
         checkpoint_dir=args.checkpoint_dir,
     )
     network = result.network
+    workers = config.resolve_n_workers()
+    mode = f"executor w={workers}" if workers > 1 else "sequential"
     print(f"learned trees and parents for {network.n_modules} modules "
-          f"in {result.task_times.modules:.1f} s")
+          f"in {result.task_times.modules:.1f} s ({mode})")
     if args.out_json:
         Path(args.out_json).write_text(network_to_json(network), encoding="utf-8")
         print(f"wrote {args.out_json}")

@@ -51,6 +51,17 @@ class LearnerConfig:
     #: the discrete grid of sigmoid steepness values explored per split
     beta_grid: tuple[float, ...] = DEFAULT_BETA_GRID
 
+    # -- execution backend (process executor for task 3) ------------------
+    #: worker processes for task 3 (1 = in-process sequential, 0 = all
+    #: cores); >1 runs :class:`repro.parallel.executor.ModuleExecutor`
+    n_workers: int = 1
+    #: decomposition: "module" (whole modules per worker), "split"
+    #: (fine-grained candidate-split tasks) or "auto" (cost heuristic)
+    parallel_mode: str = "auto"
+    #: dispatch: "static" contiguous blocks or "dynamic" queue pulling
+    #: (largest-module-first in module mode)
+    schedule: str = "dynamic"
+
     # -- shared -----------------------------------------------------------
     prior: NormalGammaPrior = field(default_factory=lambda: DEFAULT_PRIOR)
     #: RNG backend: "philox" (default) or "mrg"
@@ -73,6 +84,12 @@ class LearnerConfig:
             raise ValueError("consensus_threshold must lie in [0, 1]")
         if self.rng_backend not in ("philox", "mrg"):
             raise ValueError("rng_backend must be 'philox' or 'mrg'")
+        if self.n_workers < 0:
+            raise ValueError("n_workers must be non-negative (0 = all cores)")
+        if self.parallel_mode not in ("auto", "module", "split"):
+            raise ValueError("parallel_mode must be 'auto', 'module' or 'split'")
+        if self.schedule not in ("static", "dynamic"):
+            raise ValueError("schedule must be 'static' or 'dynamic'")
 
     def resolve_init_clusters(self, n_vars: int) -> int:
         """The initial variable-cluster count K0 for ``n_vars`` variables."""
@@ -86,6 +103,14 @@ class LearnerConfig:
         else:
             raise ValueError(f"invalid init_var_clusters: {value!r}")
         return min(k0, n_vars)
+
+    def resolve_n_workers(self) -> int:
+        """The effective worker count (0 means every available core)."""
+        if self.n_workers == 0:
+            import os
+
+            return max(1, os.cpu_count() or 1)
+        return self.n_workers
 
     def resolve_candidate_parents(self, n_vars: int) -> tuple[int, ...]:
         """The candidate-parent list, defaulting to every variable."""

@@ -131,6 +131,11 @@ class LemonTreeLearner:
         restarted with the same directory skips finished modules.  Because
         every module consumes its own named random streams, a resumed run
         produces exactly the network an uninterrupted run would.
+
+        With ``config.n_workers > 1`` the modules are learned on the
+        persistent shared-memory executor
+        (:class:`repro.parallel.executor.ModuleExecutor`) — same named
+        streams, so the network is bit-identical to a sequential run.
         """
         seen: set[int] = set()
         for members in modules_members:
@@ -193,6 +198,15 @@ class LemonTreeLearner:
         config = self.config
         n_vars = data.shape[0]
         parents = np.asarray(config.resolve_candidate_parents(n_vars), dtype=np.int64)
+
+        if config.resolve_n_workers() > 1 and modules_members:
+            from repro.parallel.executor import ModuleExecutor
+
+            with ModuleExecutor(
+                data, parents, config, seed, checkpoint_dir=checkpoint_dir
+            ) as executor:
+                return executor.learn_modules(modules_members, trace=trace)
+
         scorer = SplitScorer(
             beta_grid=config.beta_grid,
             max_steps=config.max_sampling_steps,
@@ -204,8 +218,8 @@ class LemonTreeLearner:
         for module_id, members in enumerate(modules_members):
             module = checkpoints.load(module_id, members)
             if module is None:
-                module = self._learn_one_module(
-                    data, module_id, members, parents, scorer, seed, trace
+                module = learn_single_module(
+                    data, module_id, members, parents, scorer, config, seed, trace
                 )
                 checkpoints.store(module)
             modules.append(module)
@@ -221,78 +235,99 @@ class LemonTreeLearner:
         seed: int,
         trace,
     ) -> Module:
-        config = self.config
-        block = data[members]
-        mrng = GibbsRandom(
-            make_stream(seed, "modules", module_id, backend=config.rng_backend)
-        )
-        hooks = _hooks_for(trace)
-        istream = IndexedStream(
-            make_stream(seed, "splits", module_id, backend=config.rng_backend),
-            scorer.draws_per_item,
+        return learn_single_module(
+            data, module_id, members, parents, scorer, self.config, seed, trace
         )
 
-        # Step 1: sample observation clusterings, agglomerate into trees.
-        obs_samples = run_obs_only_ganesh(
-            block,
-            mrng,
-            n_update_steps=config.tree_update_steps,
-            burn_in=config.tree_burn_in,
-            prior=config.prior,
-            hooks=hooks,
-        )
-        trees = [
-            build_tree_structure(block, labels, module_id, config.prior, hooks)
-            for labels in obs_samples
-        ]
 
-        # Steps 2-3: score candidate splits, select, aggregate parents.
-        module = Module(module_id=module_id, members=list(members), trees=trees)
-        split_base = 0
-        all_weighted = []
-        all_uniform = []
-        for tree_index, tree in enumerate(trees):
-            for node in tree.internal_nodes():
-                scores = score_node_splits(
-                    data,
-                    module_id,
-                    tree_index,
-                    node,
-                    parents,
-                    scorer,
-                    istream,
-                    split_base,
-                )
-                split_base += scores.n_splits
-                if trace is not None:
-                    trace.record(
-                        "modules.split_scoring",
-                        scores.work_units(),
-                        # The whole phase shares one segmented scan and one
-                        # all-gather (Section 3.2.3); charge them per node so
-                        # the per-p comm term scales with the node count.
-                        n_collectives=1,
-                        words=2 * config.n_splits_per_node,
-                    )
-                weighted, uniform = select_node_splits(
-                    data, scores, mrng, config.n_splits_per_node
-                )
-                node.weighted_splits = weighted
-                node.uniform_splits = uniform
-                all_weighted.extend(weighted)
-                all_uniform.extend(uniform)
+def learn_single_module(
+    data: np.ndarray,
+    module_id: int,
+    members: list[int],
+    parents: np.ndarray,
+    scorer: SplitScorer,
+    config: LearnerConfig,
+    seed: int,
+    trace=None,
+) -> Module:
+    """Learn one module end to end (obs clustering, trees, splits, parents).
 
-        module.weighted_parents = accumulate_parent_scores(all_weighted)
-        module.uniform_parents = accumulate_parent_scores(all_uniform)
-        if trace is not None and split_base:
-            # Learn-Parents: segmented scan + all-gather over selected splits.
-            trace.record(
-                "modules.parents",
-                np.array([len(all_weighted) + len(all_uniform)], dtype=np.float64),
-                n_collectives=2,
-                words=len(all_weighted) + len(all_uniform),
+    A module consumes only its own named streams (``("modules", id)`` and
+    ``("splits", id)``), so this function is self-contained: the executor's
+    workers call it on whole modules concurrently and obtain bit-identical
+    results to the sequential loop above.
+    """
+    block = data[members]
+    mrng = GibbsRandom(
+        make_stream(seed, "modules", module_id, backend=config.rng_backend)
+    )
+    hooks = _hooks_for(trace)
+    istream = IndexedStream(
+        make_stream(seed, "splits", module_id, backend=config.rng_backend),
+        scorer.draws_per_item,
+    )
+
+    # Step 1: sample observation clusterings, agglomerate into trees.
+    obs_samples = run_obs_only_ganesh(
+        block,
+        mrng,
+        n_update_steps=config.tree_update_steps,
+        burn_in=config.tree_burn_in,
+        prior=config.prior,
+        hooks=hooks,
+    )
+    trees = [
+        build_tree_structure(block, labels, module_id, config.prior, hooks)
+        for labels in obs_samples
+    ]
+
+    # Steps 2-3: score candidate splits, select, aggregate parents.
+    module = Module(module_id=module_id, members=list(members), trees=trees)
+    split_base = 0
+    all_weighted = []
+    all_uniform = []
+    for tree_index, tree in enumerate(trees):
+        for node in tree.internal_nodes():
+            scores = score_node_splits(
+                data,
+                module_id,
+                tree_index,
+                node,
+                parents,
+                scorer,
+                istream,
+                split_base,
             )
-        return module
+            split_base += scores.n_splits
+            if trace is not None:
+                trace.record(
+                    "modules.split_scoring",
+                    scores.work_units(),
+                    # The whole phase shares one segmented scan and one
+                    # all-gather (Section 3.2.3); charge them per node so
+                    # the per-p comm term scales with the node count.
+                    n_collectives=1,
+                    words=2 * config.n_splits_per_node,
+                )
+            weighted, uniform = select_node_splits(
+                data, scores, mrng, config.n_splits_per_node
+            )
+            node.weighted_splits = weighted
+            node.uniform_splits = uniform
+            all_weighted.extend(weighted)
+            all_uniform.extend(uniform)
+
+    module.weighted_parents = accumulate_parent_scores(all_weighted)
+    module.uniform_parents = accumulate_parent_scores(all_uniform)
+    if trace is not None and split_base:
+        # Learn-Parents: segmented scan + all-gather over selected splits.
+        trace.record(
+            "modules.parents",
+            np.array([len(all_weighted) + len(all_uniform)], dtype=np.float64),
+            n_collectives=2,
+            words=len(all_weighted) + len(all_uniform),
+        )
+    return module
 
 
 class _ModuleCheckpoints:

@@ -18,7 +18,11 @@ MPI implementation is reproduced with three cooperating layers:
   model.  This is what regenerates the strong-scaling figures.
 * :mod:`repro.parallel.pool` — a multiprocessing backend that fans the
   dominant split-scoring phase out across local cores for real wall-clock
-  speedups.
+  speedups (a fresh pool per scoring call).
+* :mod:`repro.parallel.executor` — the persistent process executor for
+  Task 3: the expression matrix lives in shared memory, one pool survives
+  the whole task, and whole modules are learned concurrently
+  (largest-first) with a fine-grained split-task fallback.
 """
 
 from repro.parallel.comm import SerialComm, ThreadComm, run_spmd
@@ -34,4 +38,15 @@ __all__ = [
     "WorkTrace",
     "project_time",
     "ParallelLearner",
+    "ModuleExecutor",
 ]
+
+
+def __getattr__(name: str):
+    # Imported lazily: executor pulls in core.learner, which would make
+    # ``import repro.parallel`` eagerly import most of the package.
+    if name == "ModuleExecutor":
+        from repro.parallel.executor import ModuleExecutor
+
+        return ModuleExecutor
+    raise AttributeError(name)

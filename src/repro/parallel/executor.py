@@ -1,0 +1,636 @@
+"""Persistent shared-memory executor with module-level parallelism (Task 3).
+
+The per-call pool in :mod:`repro.parallel.pool` parallelizes only the inner
+level of Section 3.2 — the candidate-split scoring of nodes the driver has
+already built — and pays for a fresh ``mp.Pool`` (plus a full expression-
+matrix transfer) on every scoring call.  This module is the persistent
+replacement used by :meth:`repro.core.learner.LemonTreeLearner
+.learn_from_modules`:
+
+* the expression matrix is placed in :mod:`multiprocessing.shared_memory`
+  **once** per Task 3 and workers attach to it zero-copy;
+* **one** worker pool survives across the whole task, whatever the number
+  of modules or scoring calls;
+* both of the paper's parallelism levels are available and chosen by a
+  cost heuristic:
+
+  - ``module`` mode — each worker learns *whole* modules (observation
+    clustering, trees, split scoring, parent aggregation).  Because every
+    module consumes only its own named streams (``("modules", id)``,
+    ``("splits", id)``), concurrent modules yield bit-identical networks.
+    Dynamic dispatch is largest-module-first (LPT), attacking the load
+    imbalance the paper measures in Section 5.3.1;
+  - ``split`` mode — trees are built in the driver and the flat candidate-
+    split list of *all* pending modules is scored in one pooled pass (the
+    fine-grained decomposition of Algorithm 5), for the few-huge-modules
+    regime where module granularity cannot balance the load.
+
+Checkpoints are written as soon as a module completes — from the worker in
+module mode — so an interrupted parallel run resumes exactly like a
+sequential one.
+"""
+
+from __future__ import annotations
+
+import math
+import os
+import time
+from dataclasses import dataclass
+from multiprocessing import shared_memory
+
+import numpy as np
+
+from repro.core.config import LearnerConfig
+from repro.core.learner import _hooks_for, _ModuleCheckpoints, learn_single_module
+from repro.datatypes import Module
+from repro.ganesh.coclustering import run_obs_only_ganesh
+from repro.parallel import pool as pool_mod
+from repro.parallel import poolutil
+from repro.parallel.pool import _subdivide, build_split_tasks
+from repro.parallel.trace import WorkTrace
+from repro.rng.streams import GibbsRandom, make_stream
+from repro.scoring.split_score import SplitScorer
+from repro.trees.hierarchy import build_tree_structure
+from repro.trees.splits import NodeSplitScores, select_node_splits
+
+
+def _make_scorer(config: LearnerConfig) -> SplitScorer:
+    return SplitScorer(
+        beta_grid=config.beta_grid,
+        max_steps=config.max_sampling_steps,
+        stop_repeats=config.sampling_stop_repeats,
+    )
+
+
+# -- shared-memory expression matrix --------------------------------------
+
+
+class SharedMatrix:
+    """The expression matrix in a shared-memory segment.
+
+    Created once per executor; workers attach by name with no copy.  The
+    creating process owns the segment and unlinks it on :meth:`close`.
+    """
+
+    def __init__(self, data: np.ndarray) -> None:
+        data = np.ascontiguousarray(data, dtype=np.float64)
+        self._shm = shared_memory.SharedMemory(create=True, size=data.nbytes)
+        self.array = np.ndarray(data.shape, dtype=data.dtype, buffer=self._shm.buf)
+        self.array[:] = data
+        #: everything a worker needs to attach: (name, shape, dtype)
+        self.spec = (self._shm.name, data.shape, data.dtype.str)
+
+    def close(self) -> None:
+        self.array = None
+        self._shm.close()
+        try:
+            self._shm.unlink()
+        except FileNotFoundError:  # pragma: no cover - already unlinked
+            pass
+
+
+def _attach_shared(spec) -> tuple[shared_memory.SharedMemory, np.ndarray]:
+    """Attach to a :class:`SharedMatrix` segment from a worker process."""
+    name, shape, dtype = spec
+    shm = shared_memory.SharedMemory(name=name)
+    # Workers and driver share one resource-tracker process (the tracker fd
+    # is inherited), and its name cache is a set — the workers' attach-time
+    # registrations collapse into the driver's own, and the driver's unlink
+    # on close() is the single cleanup point.  No per-worker unregister.
+    return shm, np.ndarray(shape, dtype=np.dtype(dtype), buffer=shm.buf)
+
+
+# -- worker side -----------------------------------------------------------
+
+# Executor-only worker state; the scoring state lives in pool._WORKER so the
+# fine-grained split path reuses pool._score_task unchanged.
+_STATE: dict = {}
+
+
+def _executor_init(matrix_spec, parents, config, seed, checkpoint_dir, counter):
+    """Pool initializer: attach the matrix once, install worker state.
+
+    ``counter`` is a shared ``mp.Value`` bumped once per initialized worker;
+    tests read it to assert the matrix was shipped exactly once per worker
+    (i.e. the initializer ran once, never per task).
+    """
+    shm, data = _attach_shared(matrix_spec)
+    pool_mod._init_worker(data, parents, config, seed)
+    _STATE["shm"] = shm  # keep the mapping alive for the worker's lifetime
+    _STATE["checkpoints"] = (
+        _ModuleCheckpoints(checkpoint_dir, seed, config)
+        if checkpoint_dir is not None
+        else None
+    )
+    if counter is not None:
+        with counter.get_lock():
+            counter.value += 1
+
+
+def _learn_module_task(item):
+    """Learn one whole module in a worker (module-level parallelism)."""
+    module_id, members, want_trace = item
+    t0 = time.perf_counter()
+    worker = pool_mod._WORKER
+    # Recording (and shipping back) per-superstep work vectors is pure
+    # overhead unless the driver was handed a trace.
+    trace = WorkTrace() if want_trace else None
+    module = learn_single_module(
+        worker["data"],
+        module_id,
+        members,
+        worker["parents"],
+        worker["scorer"],
+        worker["config"],
+        worker["seed"],
+        trace,
+    )
+    checkpoints = _STATE.get("checkpoints")
+    if checkpoints is not None:
+        checkpoints.store(module)
+    steps = trace.steps if trace is not None else []
+    return module_id, module, steps, os.getpid(), time.perf_counter() - t0
+
+
+def _score_split_task(task):
+    """Fine-grained split scoring plus worker identity and wall time."""
+    t0 = time.perf_counter()
+    result = pool_mod._score_task(task)
+    return result, os.getpid(), time.perf_counter() - t0
+
+
+# -- driver-side phases of split mode --------------------------------------
+
+
+def tree_phase(data, module_id, members, config, seed, trace=None):
+    """Step 1 of one module: observation clusterings agglomerated to trees.
+
+    Returns ``(trees, nodes, records, mrng)`` where ``nodes`` lists
+    ``(tree_index, node)`` in enumeration order, ``records`` are the node
+    records :func:`repro.parallel.pool.build_split_tasks` consumes, and
+    ``mrng`` is the module stream, positioned for split selection.
+    """
+    block = data[members]
+    mrng = GibbsRandom(
+        make_stream(seed, "modules", module_id, backend=config.rng_backend)
+    )
+    hooks = _hooks_for(trace)
+    obs_samples = run_obs_only_ganesh(
+        block,
+        mrng,
+        n_update_steps=config.tree_update_steps,
+        burn_in=config.tree_burn_in,
+        prior=config.prior,
+        hooks=hooks,
+    )
+    trees = [
+        build_tree_structure(block, labels, module_id, config.prior, hooks)
+        for labels in obs_samples
+    ]
+    nodes = []
+    records = []
+    obs_base = 0
+    for tree_index, tree in enumerate(trees):
+        for node in tree.internal_nodes():
+            nodes.append((tree_index, node))
+            records.append(
+                (module_id, node.observations, node.left.observations, obs_base)
+            )
+            obs_base += int(node.observations.size)
+    return trees, nodes, records, mrng
+
+
+def select_phase(
+    data,
+    module_id,
+    members,
+    trees,
+    nodes,
+    parents,
+    mrng,
+    config,
+    log_scores,
+    steps,
+    accepted,
+    offset,
+    trace=None,
+) -> tuple[Module, int]:
+    """Steps 2-3 of one module from pre-computed flat score arrays.
+
+    ``offset`` is the module's first row in the flat arrays; the new offset
+    (one past the module's last split) is returned.  Consumes exactly the
+    same ``mrng`` draws as the sequential learner, in the same order.
+    """
+    module = Module(module_id=module_id, members=list(members), trees=trees)
+    split_base = 0
+    all_weighted = []
+    all_uniform = []
+    for tree_index, node in nodes:
+        n_splits = int(parents.size * node.observations.size)
+        scores = NodeSplitScores(
+            module_id=module_id,
+            tree_index=tree_index,
+            node=node,
+            parents=parents,
+            base_index=split_base,
+            log_scores=log_scores[offset : offset + n_splits],
+            steps=steps[offset : offset + n_splits],
+            accepted=accepted[offset : offset + n_splits],
+        )
+        offset += n_splits
+        split_base += n_splits
+        if trace is not None:
+            trace.record(
+                "modules.split_scoring",
+                scores.work_units(),
+                n_collectives=1,
+                words=2 * config.n_splits_per_node,
+            )
+        weighted, uniform = select_node_splits(
+            data, scores, mrng, config.n_splits_per_node
+        )
+        node.weighted_splits = weighted
+        node.uniform_splits = uniform
+        all_weighted.extend(weighted)
+        all_uniform.extend(uniform)
+
+    from repro.trees.parents import accumulate_parent_scores
+
+    module.weighted_parents = accumulate_parent_scores(all_weighted)
+    module.uniform_parents = accumulate_parent_scores(all_uniform)
+    if trace is not None and split_base:
+        trace.record(
+            "modules.parents",
+            np.array([len(all_weighted) + len(all_uniform)], dtype=np.float64),
+            n_collectives=2,
+            words=len(all_weighted) + len(all_uniform),
+        )
+    return module, offset
+
+
+def learn_modules_percall_pool(
+    data,
+    parents,
+    modules_members,
+    config: LearnerConfig,
+    seed: int,
+    n_workers: int,
+    schedule: str = "dynamic",
+) -> list[Module]:
+    """Task 3 with the seed backend: a fresh ``mp.Pool`` per scoring call.
+
+    Functionally identical to the executor (bit-identical networks), but
+    one pool is constructed — and the expression matrix shipped — per
+    module rather than once per task.  Kept as the measured baseline for
+    the executor's speedup contract (``benchmarks/bench_executor.py``) and
+    the CI pool-construction smoke test.
+    """
+    parents = np.asarray(parents, dtype=np.int64)
+    modules: list[Module] = []
+    for module_id, members in enumerate(modules_members):
+        trees, nodes, records, mrng = tree_phase(
+            data, module_id, list(members), config, seed
+        )
+        log_scores, steps, accepted = pool_mod.score_splits_pool(
+            data, records, parents, config, seed, n_workers, schedule
+        )
+        module, _ = select_phase(
+            data,
+            module_id,
+            members,
+            trees,
+            nodes,
+            parents,
+            mrng,
+            config,
+            log_scores,
+            steps,
+            accepted,
+            0,
+        )
+        modules.append(module)
+    return modules
+
+
+# -- mode heuristic ---------------------------------------------------------
+
+
+def estimate_module_cost(members, n_obs: int, config: LearnerConfig) -> float:
+    """Crude relative cost of learning one module.
+
+    Observation clustering scales with the block size ``|members| * m``;
+    split scoring with the candidate-split count times the node size, i.e.
+    roughly ``m^2`` per tree level times the parent count (identical across
+    modules of one run, so it enters as a constant floor).  The estimate
+    only needs to *rank* modules for LPT dispatch and flag dominating ones.
+    """
+    return float(len(members) * n_obs + n_obs * n_obs)
+
+
+def choose_mode(costs, n_workers: int) -> str:
+    """Pick module- vs split-level parallelism from estimated module costs.
+
+    Module granularity wins whenever there are enough modules to keep every
+    worker busy and no single module dominates the total (a module larger
+    than twice the ideal per-worker share caps the speedup at the stragg-
+    ler's run-time — the paper's Section 5.3.1 imbalance).  Otherwise the
+    fine-grained flat split list is the only decomposition that balances.
+    """
+    costs = list(costs)
+    if len(costs) < n_workers:
+        return "split"
+    total = sum(costs)
+    if total > 0 and max(costs) * n_workers > 2.0 * total:
+        return "split"
+    return "module"
+
+
+# -- statistics -------------------------------------------------------------
+
+
+@dataclass
+class ExecutorStats:
+    """Observable behaviour of one executor (asserted by tests)."""
+
+    pools_constructed: int = 0
+    matrix_transfers: int = 0
+    tasks_dispatched: int = 0
+    mode: str = ""
+    n_workers: int = 1
+
+
+# -- the executor -----------------------------------------------------------
+
+
+class ModuleExecutor:
+    """Persistent worker pool learning Task 3 modules in parallel.
+
+    Usage::
+
+        with ModuleExecutor(data, parents, config, seed) as executor:
+            modules = executor.learn_modules(modules_members, trace=trace)
+
+    The pool and the shared expression matrix are created lazily on the
+    first parallel dispatch and live until :meth:`close` (or context exit),
+    however many scoring calls Task 3 performs.
+    """
+
+    def __init__(
+        self,
+        data: np.ndarray,
+        parents: np.ndarray,
+        config: LearnerConfig,
+        seed: int,
+        *,
+        n_workers: int | None = None,
+        parallel_mode: str | None = None,
+        schedule: str | None = None,
+        checkpoint_dir=None,
+        mp_context: str | None = None,
+    ) -> None:
+        self.data = np.ascontiguousarray(data, dtype=np.float64)
+        self.parents = np.asarray(parents, dtype=np.int64)
+        self.config = config
+        self.seed = seed
+        self.n_workers = (
+            config.resolve_n_workers() if n_workers is None else int(n_workers)
+        )
+        self.parallel_mode = parallel_mode or config.parallel_mode
+        self.schedule = schedule or config.schedule
+        if self.schedule not in ("static", "dynamic"):
+            raise ValueError("schedule must be 'static' or 'dynamic'")
+        if self.parallel_mode not in ("auto", "module", "split"):
+            raise ValueError("parallel_mode must be 'auto', 'module' or 'split'")
+        self.checkpoint_dir = checkpoint_dir
+        self.stats = ExecutorStats(n_workers=self.n_workers)
+        self._mp_context = mp_context
+        self._pool = None
+        self._shared: SharedMatrix | None = None
+        self._init_counter = None
+        self._serial_ready = False
+
+    # -- lifecycle ---------------------------------------------------------
+    def __enter__(self) -> "ModuleExecutor":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+    def close(self) -> None:
+        if self._pool is not None:
+            self._pool.terminate()
+            self._pool.join()
+            self._pool = None
+        if self._shared is not None:
+            self._shared.close()
+            self._shared = None
+
+    def worker_inits(self) -> int:
+        """How many worker initializations ran (== workers when the matrix
+        was shipped exactly once per worker)."""
+        if self._init_counter is None:
+            return 0
+        return int(self._init_counter.value)
+
+    def _ensure_pool(self):
+        """Create the shared matrix and the pool once, on first dispatch."""
+        if self._pool is None:
+            ctx = poolutil.pool_context(self._mp_context)
+            self._shared = SharedMatrix(self.data)
+            self._init_counter = ctx.Value("i", 0)
+            poolutil.note_pool_construction()
+            poolutil.note_matrix_transfer()
+            self.stats.pools_constructed += 1
+            self.stats.matrix_transfers += 1
+            self._pool = ctx.Pool(
+                self.n_workers,
+                initializer=_executor_init,
+                initargs=(
+                    self._shared.spec,
+                    self.parents,
+                    self.config,
+                    self.seed,
+                    self.checkpoint_dir,
+                    self._init_counter,
+                ),
+            )
+        return self._pool
+
+    def _ensure_serial(self) -> None:
+        """Install the in-process scoring state (n_workers == 1 path)."""
+        if not self._serial_ready:
+            pool_mod._init_worker(self.data, self.parents, self.config, self.seed)
+            self._serial_ready = True
+
+    # -- fine-grained scoring (the inner level) ----------------------------
+    def score_splits(self, node_records, trace=None):
+        """Score a flat candidate-split list on the persistent pool.
+
+        The persistent counterpart of :func:`repro.parallel.pool.
+        score_splits_pool`: same task construction, same schedules, same
+        bit-identical outputs — but the pool and the matrix transfer are
+        amortized over every call of the executor's lifetime.
+        """
+        tasks, total = build_split_tasks(node_records, len(self.parents))
+        log_scores = np.zeros(total, dtype=np.float64)
+        steps = np.zeros(total, dtype=np.int64)
+        accepted = np.zeros(total, dtype=bool)
+
+        if self.n_workers <= 1 or total == 0:
+            self._ensure_serial()
+            results = [
+                (pool_mod._score_task(t), os.getpid(), 0.0) for t in tasks
+            ]
+        else:
+            pool = self._ensure_pool()
+            if self.schedule == "static":
+                work_items = _subdivide(tasks, total, self.n_workers)
+                chunksize = max(1, len(work_items) // self.n_workers)
+            else:
+                work_items = _subdivide(tasks, total, 4 * self.n_workers)
+                chunksize = 1
+            results = list(
+                pool.imap_unordered(_score_split_task, work_items, chunksize)
+            )
+            self.stats.tasks_dispatched += len(work_items)
+
+        busy: dict[int, float] = {}
+        for (offset, sc, st, ac), pid, secs in results:
+            log_scores[offset : offset + sc.size] = sc
+            steps[offset : offset + st.size] = st
+            accepted[offset : offset + ac.size] = ac
+            busy[pid] = busy.get(pid, 0.0) + secs
+        if trace is not None and self.n_workers > 1:
+            self._record_worker_times(trace, busy)
+        return log_scores, steps, accepted
+
+    def _record_worker_times(self, trace, busy: dict[int, float]) -> None:
+        for index, pid in enumerate(sorted(busy)):
+            trace.mark_worker_time(f"worker-{index}", busy[pid])
+
+    # -- module learning (the outer level) ---------------------------------
+    def learn_modules(self, modules_members, trace=None) -> list[Module]:
+        """Learn every module, resuming from checkpoints where present."""
+        checkpoints = _ModuleCheckpoints(self.checkpoint_dir, self.seed, self.config)
+        modules: dict[int, Module] = {}
+        pending: list[tuple[int, list[int]]] = []
+        for module_id, members in enumerate(modules_members):
+            module = checkpoints.load(module_id, members)
+            if module is None:
+                pending.append((module_id, list(members)))
+            else:
+                modules[module_id] = module
+
+        mode = self._resolve_mode(pending)
+        self.stats.mode = mode
+        if not pending:
+            pass
+        elif self.n_workers <= 1:
+            scorer = _make_scorer(self.config)
+            for module_id, members in pending:
+                module = learn_single_module(
+                    self.data,
+                    module_id,
+                    members,
+                    self.parents,
+                    scorer,
+                    self.config,
+                    self.seed,
+                    trace,
+                )
+                checkpoints.store(module)
+                modules[module_id] = module
+        elif mode == "module":
+            self._learn_modules_coarse(pending, modules, trace)
+        else:
+            self._learn_modules_fine(pending, modules, checkpoints, trace)
+        return [modules[module_id] for module_id in range(len(modules_members))]
+
+    def _resolve_mode(self, pending) -> str:
+        if self.parallel_mode != "auto":
+            return self.parallel_mode
+        if self.n_workers <= 1:
+            return "module"
+        n_obs = self.data.shape[1]
+        costs = [
+            estimate_module_cost(members, n_obs, self.config)
+            for _, members in pending
+        ]
+        return choose_mode(costs, self.n_workers)
+
+    def _learn_modules_coarse(self, pending, modules, trace) -> None:
+        """Module-level parallelism: whole modules on the pool.
+
+        Workers write their own checkpoints (the initializer carries the
+        checkpoint directory), so an interruption loses at most the modules
+        currently in flight — the same guarantee as the sequential loop.
+        """
+        pool = self._ensure_pool()
+        n_obs = self.data.shape[1]
+        items = [
+            (module_id, members, trace is not None)
+            for module_id, members in pending
+        ]
+        if self.schedule == "dynamic":
+            # Largest-module-first dispatch: greedy LPT via a shared queue.
+            items.sort(
+                key=lambda item: (
+                    -estimate_module_cost(item[1], n_obs, self.config),
+                    item[0],
+                )
+            )
+            results = list(pool.imap_unordered(_learn_module_task, items, 1))
+        else:
+            # Static: contiguous equal-count blocks of the module list.
+            chunksize = math.ceil(len(items) / self.n_workers)
+            results = pool.map(_learn_module_task, items, chunksize=chunksize)
+        self.stats.tasks_dispatched += len(pending)
+
+        busy: dict[int, float] = {}
+        for module_id, module, steps, pid, secs in sorted(results):
+            modules[module_id] = module
+            busy[pid] = busy.get(pid, 0.0) + secs
+            if trace is not None:
+                trace.steps.extend(steps)
+        if trace is not None:
+            self._record_worker_times(trace, busy)
+
+    def _learn_modules_fine(self, pending, modules, checkpoints, trace) -> None:
+        """Split-level parallelism: driver-side trees, pooled flat scoring.
+
+        Phase A builds every pending module's trees in the driver (each on
+        its own module stream); phase B scores the concatenated candidate-
+        split list of *all* modules in one pooled pass; phase C replays the
+        sequential selection per module.  One flat list across modules is
+        exactly the paper's load-balance argument for Algorithm 5.
+        """
+        states = []
+        records = []
+        for module_id, members in pending:
+            trees, nodes, recs, mrng = tree_phase(
+                self.data, module_id, members, self.config, self.seed, trace
+            )
+            states.append((module_id, members, trees, nodes, mrng))
+            records.extend(recs)
+
+        log_scores, steps, accepted = self.score_splits(records, trace=trace)
+
+        offset = 0
+        for module_id, members, trees, nodes, mrng in states:
+            module, offset = select_phase(
+                self.data,
+                module_id,
+                members,
+                trees,
+                nodes,
+                self.parents,
+                mrng,
+                self.config,
+                log_scores,
+                steps,
+                accepted,
+                offset,
+                trace,
+            )
+            checkpoints.store(module)
+            modules[module_id] = module

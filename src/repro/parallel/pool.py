@@ -24,12 +24,12 @@ Two scheduling modes expose the paper's Section 6 future-work ablation:
 
 from __future__ import annotations
 
-import multiprocessing as mp
 from dataclasses import dataclass
 
 import numpy as np
 
 from repro.core.config import LearnerConfig
+from repro.parallel import poolutil
 from repro.parallel.costmodel import block_bounds
 from repro.rng.streams import IndexedStream, make_stream
 from repro.scoring.split_score import SplitScorer
@@ -53,13 +53,13 @@ def _init_worker(data, parents, config: LearnerConfig, seed: int) -> None:
     _WORKER["streams"] = {}
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, eq=False)
 class SplitTask:
     """A contiguous sub-range of one node's candidate splits."""
 
     module_id: int
-    obs: tuple[int, ...]  # node observations
-    left_obs: tuple[int, ...]  # left child observations
+    obs: np.ndarray  # node observations (int64)
+    left_obs: np.ndarray  # left child observations (int64)
     module_split_base: int  # module-local split index of the node's first split
     row0: int  # first split row of this task within the node
     row1: int  # one past the last split row
@@ -82,12 +82,10 @@ def _score_task(task: SplitTask):
         )
     istream = streams[task.module_id]
 
-    obs = np.asarray(task.obs, dtype=np.int64)
+    obs = task.obs
     n_obs = obs.size
     l0, l1 = task.row0 // n_obs, (task.row1 - 1) // n_obs + 1
-    margins = margins_from_arrays(
-        data, obs, np.asarray(task.left_obs, dtype=np.int64), parents[l0:l1]
-    )
+    margins = margins_from_arrays(data, obs, task.left_obs, parents[l0:l1])
     margins = margins[task.row0 - l0 * n_obs : task.row1 - l0 * n_obs]
 
     dpi = scorer.draws_per_item
@@ -109,8 +107,10 @@ def build_split_tasks(node_records, n_parents: int) -> tuple[list[SplitTask], in
         tasks.append(
             SplitTask(
                 module_id=module_id,
-                obs=tuple(int(o) for o in obs),
-                left_obs=tuple(int(o) for o in left_obs),
+                # Small int64 arrays pickle far cheaper than tuples of
+                # Python ints and feed margins_from_arrays directly.
+                obs=np.asarray(obs, dtype=np.int64),
+                left_obs=np.asarray(left_obs, dtype=np.int64),
                 module_split_base=module_obs_base * n_parents,
                 row0=0,
                 row1=n_splits,
@@ -122,28 +122,43 @@ def build_split_tasks(node_records, n_parents: int) -> tuple[list[SplitTask], in
 
 
 def _subdivide(tasks: list[SplitTask], total: int, n_chunks: int) -> list[SplitTask]:
-    """Split node tasks along the flat index so chunks have equal split counts."""
+    """Split node tasks along the flat index so chunks have equal split counts.
+
+    Tasks and chunk bounds are both sorted along the flat split index, so a
+    single merge walk suffices: O(tasks + chunks + pieces) instead of the
+    O(chunks x tasks) rescan of every task per chunk.
+    """
     out: list[SplitTask] = []
+    ti = 0
+    n_tasks = len(tasks)
     for lo, hi in block_bounds(total, n_chunks):
         if lo >= hi:
             continue
-        for task in tasks:
+        # Skip tasks that end at or before this chunk; a task straddling a
+        # chunk boundary is revisited because ti stops at the first overlap.
+        while ti < n_tasks and tasks[ti].out_offset + (
+            tasks[ti].row1 - tasks[ti].row0
+        ) <= lo:
+            ti += 1
+        tj = ti
+        while tj < n_tasks and tasks[tj].out_offset < hi:
+            task = tasks[tj]
             a = max(lo, task.out_offset)
             b = min(hi, task.out_offset + (task.row1 - task.row0))
-            if a >= b:
-                continue
-            shift = a - task.out_offset
-            out.append(
-                SplitTask(
-                    module_id=task.module_id,
-                    obs=task.obs,
-                    left_obs=task.left_obs,
-                    module_split_base=task.module_split_base,
-                    row0=task.row0 + shift,
-                    row1=task.row0 + shift + (b - a),
-                    out_offset=a,
+            if a < b:
+                shift = a - task.out_offset
+                out.append(
+                    SplitTask(
+                        module_id=task.module_id,
+                        obs=task.obs,
+                        left_obs=task.left_obs,
+                        module_split_base=task.module_split_base,
+                        row0=task.row0 + shift,
+                        row1=task.row0 + shift + (b - a),
+                        out_offset=a,
+                    )
                 )
-            )
+            tj += 1
     return out
 
 
@@ -155,11 +170,19 @@ def score_splits_pool(
     seed: int,
     n_workers: int,
     schedule: str = "dynamic",
+    mp_context: str | None = None,
 ) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
     """Score the flat candidate-split list with ``n_workers`` processes.
 
     Returns ``(log_scores, steps, accepted)`` flat arrays in enumeration
-    order, bit-identical to the sequential scoring.
+    order, bit-identical to the sequential scoring.  ``mp_context`` forces
+    a start method; by default ``fork`` is used where available and
+    ``spawn`` elsewhere (the initargs ship the worker state explicitly, so
+    both methods produce identical results).
+
+    Note this constructs a fresh pool — and ships the expression matrix —
+    on *every* call; :class:`repro.parallel.executor.ModuleExecutor` is the
+    persistent backend that amortizes both across all of Task 3.
     """
     if schedule not in ("static", "dynamic"):
         raise ValueError("schedule must be 'static' or 'dynamic'")
@@ -180,7 +203,9 @@ def score_splits_pool(
             # wave keeps the queue busy without excess IPC.
             work_items = _subdivide(tasks, total, 4 * n_workers)
             chunksize = 1
-        ctx = mp.get_context("fork")
+        ctx = poolutil.pool_context(mp_context)
+        poolutil.note_pool_construction()
+        poolutil.note_matrix_transfer()
         with ctx.Pool(
             n_workers,
             initializer=_init_worker,

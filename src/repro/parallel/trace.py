@@ -65,6 +65,10 @@ class WorkTrace:
     #: measured wall seconds per task ('ganesh' / 'consensus' / 'modules')
     times: dict[str, float] = field(default_factory=dict)
     n_ganesh_runs: int = 1
+    #: measured busy wall seconds per executor worker ('worker-0', ...),
+    #: recorded by the process executor so measured parallel speedups can
+    #: be compared against the projected ones
+    worker_times: dict[str, float] = field(default_factory=dict)
 
     # -- recording (the learner's hook) -----------------------------------
     def record(
@@ -89,6 +93,22 @@ class WorkTrace:
         if task not in TASKS:
             raise ValueError(f"unknown task {task!r}")
         self.times[task] = self.times.get(task, 0.0) + float(seconds)
+
+    def mark_worker_time(self, worker: str, seconds: float) -> None:
+        """Accumulate busy wall time of one executor worker."""
+        self.worker_times[worker] = self.worker_times.get(worker, 0.0) + float(
+            seconds
+        )
+
+    def worker_imbalance(self) -> float:
+        """Measured (max - mean) / mean busy time across executor workers."""
+        if not self.worker_times:
+            return 0.0
+        busy = np.array(list(self.worker_times.values()), dtype=np.float64)
+        mean = float(busy.mean())
+        if mean == 0.0:
+            return 0.0
+        return float((busy.max() - mean) / mean)
 
     # -- summaries ---------------------------------------------------------
     def total_units(self, task: str | None = None) -> float:
@@ -247,6 +267,7 @@ def save_trace(trace: WorkTrace, path) -> None:
     meta = {
         "times": trace.times,
         "n_ganesh_runs": trace.n_ganesh_runs,
+        "worker_times": trace.worker_times,
         "steps": [
             {
                 "phase": s.phase,
@@ -270,6 +291,9 @@ def load_trace(path) -> WorkTrace:
         trace = WorkTrace()
         trace.times = {k: float(v) for k, v in meta["times"].items()}
         trace.n_ganesh_runs = int(meta["n_ganesh_runs"])
+        trace.worker_times = {
+            k: float(v) for k, v in meta.get("worker_times", {}).items()
+        }
         for i, step in enumerate(meta["steps"]):
             trace.steps.append(
                 TraceStep(

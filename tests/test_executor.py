@@ -1,0 +1,224 @@
+"""Tests for the persistent shared-memory executor (Task 3).
+
+The central contracts:
+
+* pooled module-level and split-level runs produce networks bit-identical
+  to the sequential learner for every worker count and schedule;
+* resuming from a partially written checkpoint directory reproduces the
+  uninterrupted network, with workers writing their own checkpoints;
+* the expression matrix is transferred to workers exactly once per
+  ``learn_from_modules`` call (instrumented initializer) and no ``mp.Pool``
+  is constructed more than once per call.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core.config import LearnerConfig
+from repro.core.learner import LemonTreeLearner
+from repro.datatypes import ModuleNetwork
+from repro.parallel import poolutil
+from repro.parallel.executor import (
+    ModuleExecutor,
+    choose_mode,
+    estimate_module_cost,
+    learn_modules_percall_pool,
+    tree_phase,
+)
+from repro.parallel.trace import WorkTrace
+
+
+@pytest.fixture(scope="module")
+def setup():
+    from repro.data.synthetic import make_module_dataset
+
+    matrix = make_module_dataset(24, 12, n_modules=3, seed=42).matrix
+    config = LearnerConfig(max_sampling_steps=5)
+    learner = LemonTreeLearner(config)
+    members = learner.consensus(learner.sample_clusterings(matrix, seed=5))
+    reference = learner.learn_from_modules(matrix, members, seed=5).network
+    return matrix, config, members, reference
+
+
+def _parents(matrix, config):
+    return np.asarray(config.resolve_candidate_parents(matrix.n_vars), np.int64)
+
+
+class TestEquivalence:
+    @pytest.mark.parametrize("schedule", ["static", "dynamic"])
+    @pytest.mark.parametrize("n_workers", [1, 2, 4])
+    @pytest.mark.parametrize("mode", ["module", "split"])
+    def test_network_bit_identical(self, setup, mode, n_workers, schedule):
+        matrix, config, members, reference = setup
+        cfg = config.with_updates(
+            n_workers=n_workers, parallel_mode=mode, schedule=schedule
+        )
+        net = LemonTreeLearner(cfg).learn_from_modules(
+            matrix, members, seed=5
+        ).network
+        assert net == reference
+
+    def test_auto_mode_bit_identical(self, setup):
+        matrix, config, members, reference = setup
+        cfg = config.with_updates(n_workers=2, parallel_mode="auto")
+        net = LemonTreeLearner(cfg).learn_from_modules(
+            matrix, members, seed=5
+        ).network
+        assert net == reference
+
+    def test_spawn_context_pool_matches(self, setup):
+        """The per-call pool falls back to spawn when fork is forced off;
+        results stay bit-identical (macOS/Windows portability path)."""
+        from repro.parallel.pool import score_splits_pool
+
+        matrix, config, members, reference = setup
+        _trees, _nodes, records, _mrng = tree_phase(
+            matrix.values, 0, list(members[0]), config, seed=5
+        )
+        parents = _parents(matrix, config)
+        serial = score_splits_pool(
+            matrix.values, records, parents, config, seed=5, n_workers=1
+        )
+        spawned = score_splits_pool(
+            matrix.values, records, parents, config, seed=5, n_workers=2,
+            mp_context="spawn",
+        )
+        for a, b in zip(serial, spawned):
+            np.testing.assert_array_equal(a, b)
+
+
+class TestCheckpoints:
+    def test_resume_from_partial_directory(self, setup, tmp_path):
+        """A pooled run resumed from a partially written checkpoint
+        directory yields the exact uninterrupted network."""
+        matrix, config, members, reference = setup
+        LemonTreeLearner(config).learn_from_modules(
+            matrix, members, seed=5, checkpoint_dir=tmp_path
+        )
+        (tmp_path / "module_0.json").unlink()
+        cfg = config.with_updates(n_workers=2, parallel_mode="module")
+        net = LemonTreeLearner(cfg).learn_from_modules(
+            matrix, members, seed=5, checkpoint_dir=tmp_path
+        ).network
+        assert net == reference
+
+    def test_workers_write_checkpoints(self, setup, tmp_path):
+        """In module mode the workers themselves checkpoint each completed
+        module, so an interruption loses only the modules in flight."""
+        matrix, config, members, reference = setup
+        cfg = config.with_updates(n_workers=2, parallel_mode="module")
+        LemonTreeLearner(cfg).learn_from_modules(
+            matrix, members, seed=5, checkpoint_dir=tmp_path
+        )
+        names = sorted(p.name for p in tmp_path.glob("module_*.json"))
+        assert names == [f"module_{i}.json" for i in range(len(members))]
+        # A sequential run resumes from the worker-written checkpoints.
+        resumed = LemonTreeLearner(config).learn_from_modules(
+            matrix, members, seed=5, checkpoint_dir=tmp_path
+        )
+        assert resumed.network == reference
+        assert resumed.task_times.modules < 0.5
+
+    def test_split_mode_writes_checkpoints(self, setup, tmp_path):
+        matrix, config, members, reference = setup
+        cfg = config.with_updates(n_workers=2, parallel_mode="split")
+        net = LemonTreeLearner(cfg).learn_from_modules(
+            matrix, members, seed=5, checkpoint_dir=tmp_path
+        ).network
+        assert net == reference
+        assert len(list(tmp_path.glob("module_*.json"))) == len(members)
+
+
+class TestSingleTransfer:
+    def test_matrix_shipped_once_and_single_pool(self, setup):
+        """The executor's central contract: one pool, one matrix transfer
+        per Task 3, one initializer run per worker — even across repeated
+        scoring calls on the same executor."""
+        matrix, config, members, reference = setup
+        parents = _parents(matrix, config)
+        poolutil.reset_counters()
+        with ModuleExecutor(
+            matrix.values, parents, config.with_updates(n_workers=2), 5,
+            parallel_mode="split",
+        ) as executor:
+            first = executor.learn_modules(members)
+            second = executor.learn_modules(members)  # pool is reused
+            assert executor.worker_inits() == 2
+        counts = poolutil.counters()
+        assert counts["pool_constructions"] == 1
+        assert counts["matrix_transfers"] == 1
+        assert executor.stats.pools_constructed == 1
+        assert executor.stats.matrix_transfers == 1
+        for mods in (first, second):
+            assert (
+                ModuleNetwork(mods, matrix.var_names, matrix.n_obs) == reference
+            )
+
+    def test_executor_beats_percall_pool_on_construction_count(self, setup):
+        """CI smoke for the speedup mechanism, timing-free: the seed
+        per-call backend builds one pool per module, the executor one per
+        task."""
+        matrix, config, members, reference = setup
+        parents = _parents(matrix, config)
+
+        poolutil.reset_counters()
+        base = learn_modules_percall_pool(
+            matrix.values, parents, members, config, seed=5, n_workers=2
+        )
+        percall_pools = poolutil.counters()["pool_constructions"]
+        # One pool per module that has candidate splits to score (a module
+        # whose trees have no internal nodes skips its scoring call).
+        assert 2 <= percall_pools <= len(members)
+        assert ModuleNetwork(base, matrix.var_names, matrix.n_obs) == reference
+
+        poolutil.reset_counters()
+        with ModuleExecutor(
+            matrix.values, parents, config.with_updates(n_workers=2), 5,
+            parallel_mode="module",
+        ) as executor:
+            executor.learn_modules(members)
+        executor_pools = poolutil.counters()["pool_constructions"]
+        assert executor_pools == 1 < percall_pools
+
+
+class TestModeHeuristic:
+    def test_balanced_many_modules_pick_module_level(self):
+        assert choose_mode([1.0] * 8, 4) == "module"
+
+    def test_dominating_module_picks_split_level(self):
+        assert choose_mode([100.0, 1, 1, 1, 1, 1, 1, 1], 4) == "split"
+
+    def test_fewer_modules_than_workers_picks_split_level(self):
+        assert choose_mode([1.0, 1.0], 4) == "split"
+
+    def test_cost_estimate_ranks_by_size(self):
+        big = estimate_module_cost(list(range(20)), 50, LearnerConfig())
+        small = estimate_module_cost(list(range(2)), 50, LearnerConfig())
+        assert big > small
+
+
+class TestTrace:
+    def test_worker_times_and_steps_recorded(self, setup):
+        matrix, config, members, _ = setup
+        trace = WorkTrace()
+        cfg = config.with_updates(n_workers=2, parallel_mode="module")
+        LemonTreeLearner(cfg).learn_from_modules(
+            matrix, members, seed=5, trace=trace
+        )
+        assert trace.worker_times
+        assert all(t >= 0.0 for t in trace.worker_times.values())
+        assert trace.worker_imbalance() >= 0.0
+        # Worker-recorded supersteps are merged back in module order.
+        assert any(s.phase == "modules.split_scoring" for s in trace.steps)
+        assert trace.times.get("modules", 0.0) > 0.0
+
+    def test_worker_times_round_trip(self, setup, tmp_path):
+        from repro.parallel.trace import load_trace, save_trace
+
+        trace = WorkTrace()
+        trace.mark_worker_time("worker-0", 1.5)
+        trace.mark_worker_time("worker-0", 0.5)
+        trace.mark_worker_time("worker-1", 1.0)
+        save_trace(trace, tmp_path / "t.npz")
+        loaded = load_trace(tmp_path / "t.npz")
+        assert loaded.worker_times == {"worker-0": 2.0, "worker-1": 1.0}
