@@ -58,6 +58,9 @@ def build_parser() -> argparse.ArgumentParser:
     learn.add_argument("--parallel", type=int, default=0, metavar="P",
                        help="run the SPMD parallel learner on P thread ranks")
     _add_executor_args(learn)
+    learn.add_argument("--checkpoint-dir", default=None,
+                       help="resume/continue directory: task 1 writes "
+                            "ganesh_<g>.npz, task 3 module_<id>.json")
     learn.add_argument("--acyclic", action="store_true",
                        help="post-process the network into a DAG")
     learn.add_argument("--out-json", default=None)
@@ -79,6 +82,9 @@ def build_parser() -> argparse.ArgumentParser:
     compare.add_argument("--seed", type=int, default=0)
     compare.add_argument("--modules", type=int, default=8,
                          help="module count for the GENOMICA learner")
+    compare.add_argument("--workers", type=int, default=1, metavar="W",
+                        help="worker processes for both learners (0 = all "
+                             "cores; >1 runs the persistent pool executor)")
 
     # Task-by-task workflow (how Lemon-Tree itself is driven: separate
     # invocations exchanging intermediate files, so the G GaneSH runs can
@@ -89,6 +95,12 @@ def build_parser() -> argparse.ArgumentParser:
     ganesh.add_argument("--runs", type=int, default=1, help="GaneSH runs (G)")
     ganesh.add_argument("--update-steps", type=int, default=1)
     ganesh.add_argument("--init-clusters", type=float, default=None)
+    ganesh.add_argument("--workers", type=int, default=1, metavar="W",
+                        help="worker processes for the G runs (0 = all cores; "
+                             ">1 runs the persistent pool executor)")
+    ganesh.add_argument("--checkpoint-dir", default=None,
+                        help="resume/continue directory for per-run "
+                             "ganesh_<g>.npz checkpoints")
     ganesh.add_argument("--out", required=True, help="clusterings JSON")
 
     consensus = sub.add_parser("consensus", help="task 2: consensus modules")
@@ -119,8 +131,9 @@ def build_parser() -> argparse.ArgumentParser:
 
 def _add_executor_args(parser: argparse.ArgumentParser) -> None:
     parser.add_argument("--workers", type=int, default=1, metavar="W",
-                        help="worker processes for task 3 (0 = all cores; >1 "
-                             "runs the persistent shared-memory executor)")
+                        help="worker processes for the parallel tasks (0 = all "
+                             "cores; >1 runs the persistent shared-memory "
+                             "task-pool executor)")
     parser.add_argument("--parallel-mode", choices=["auto", "module", "split"],
                         default="auto",
                         help="executor decomposition: whole modules per worker, "
@@ -183,7 +196,9 @@ def cmd_learn(args: argparse.Namespace) -> int:
         network = ParallelLearner(config).learn(matrix, seed=args.seed, p=args.parallel).network
         mode = f"parallel p={args.parallel}"
     else:
-        network = LemonTreeLearner(config).learn(matrix, seed=args.seed).network
+        network = LemonTreeLearner(config).learn(
+            matrix, seed=args.seed, checkpoint_dir=args.checkpoint_dir
+        ).network
         workers = config.resolve_n_workers()
         mode = f"executor w={workers}" if workers > 1 else "sequential"
     elapsed = time.perf_counter() - t0
@@ -241,11 +256,13 @@ def cmd_compare(args: argparse.Namespace) -> int:
 
     matrix = _load_matrix(args)
     t0 = time.perf_counter()
-    lemon = LemonTreeLearner(LearnerConfig()).learn(matrix, seed=args.seed)
+    lemon = LemonTreeLearner(
+        LearnerConfig(n_workers=args.workers)
+    ).learn(matrix, seed=args.seed)
     t_lemon = time.perf_counter() - t0
     t0 = time.perf_counter()
     genomica = GenomicaLearner(
-        GenomicaConfig(n_modules=args.modules)
+        GenomicaConfig(n_modules=args.modules, n_workers=args.workers)
     ).learn(matrix, seed=args.seed)
     t_genomica = time.perf_counter() - t0
 
@@ -272,8 +289,11 @@ def cmd_ganesh(args: argparse.Namespace) -> int:
         n_ganesh_runs=args.runs,
         n_update_steps=args.update_steps,
         init_var_clusters=init,
+        n_workers=args.workers,
     )
-    samples = LemonTreeLearner(config).sample_clusterings(matrix, seed=args.seed)
+    samples = LemonTreeLearner(config).sample_clusterings(
+        matrix, seed=args.seed, checkpoint_dir=args.checkpoint_dir
+    )
     payload = {
         "n_vars": matrix.n_vars,
         "seed": args.seed,

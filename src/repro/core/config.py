@@ -51,9 +51,11 @@ class LearnerConfig:
     #: the discrete grid of sigmoid steepness values explored per split
     beta_grid: tuple[float, ...] = DEFAULT_BETA_GRID
 
-    # -- execution backend (process executor for task 3) ------------------
-    #: worker processes for task 3 (1 = in-process sequential, 0 = all
-    #: cores); >1 runs :class:`repro.parallel.executor.ModuleExecutor`
+    # -- execution backend (persistent task-pool executor) ----------------
+    #: worker processes for tasks 1 and 3 (1 = in-process sequential, 0 =
+    #: all cores); >1 runs both the G GaneSH chains and module learning on
+    #: one :class:`repro.parallel.executor.TaskPoolExecutor` — a single
+    #: pool and a single shared-memory matrix transfer per ``learn`` call
     n_workers: int = 1
     #: decomposition: "module" (whole modules per worker), "split"
     #: (fine-grained candidate-split tasks) or "auto" (cost heuristic)

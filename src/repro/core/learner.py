@@ -31,7 +31,11 @@ import numpy as np
 from repro.consensus import consensus_clusters
 from repro.core.config import LearnerConfig
 from repro.datatypes import ExpressionMatrix, Module, ModuleNetwork, TaskTimes
-from repro.ganesh.coclustering import SweepHooks, run_ganesh, run_obs_only_ganesh
+from repro.ganesh.coclustering import (
+    SweepHooks,
+    run_obs_only_ganesh,
+    run_replicated_ganesh,
+)
 from repro.rng.streams import GibbsRandom, IndexedStream, make_stream
 from repro.scoring.split_score import SplitScorer
 from repro.trees.hierarchy import build_tree_structure
@@ -58,24 +62,43 @@ class LemonTreeLearner:
 
     # -- pipeline ---------------------------------------------------------
     def learn(
-        self, matrix: ExpressionMatrix, seed: int, trace=None
+        self, matrix: ExpressionMatrix, seed: int, trace=None, checkpoint_dir=None
     ) -> LearnResult:
         """Learn a module network from ``matrix`` with the given seed.
 
         ``trace`` may be a :class:`repro.parallel.trace.WorkTrace`; when
         given, per-superstep work vectors and task wall-times are recorded
         for parallel run-time projection.
+
+        ``checkpoint_dir`` makes the run resumable: Task 1 persists each
+        GaneSH run to ``ganesh_<g>.npz`` and Task 3 each learned module to
+        ``module_<id>.json``; a restarted run skips whatever is already on
+        disk and produces the identical network.
+
+        With ``config.n_workers > 1`` a single persistent worker pool
+        (:class:`repro.parallel.executor.TaskPoolExecutor`) serves both
+        Task 1 (the G independent GaneSH runs) and Task 3 (module
+        learning): one pool construction, one shared-memory matrix
+        transfer, per ``learn`` call.
         """
         config = self.config
         data = matrix.values
-
-        t0 = time.perf_counter()
-        samples = self._task_ganesh(data, seed, trace)
-        t1 = time.perf_counter()
-        modules_members = self._task_consensus(samples)
-        t2 = time.perf_counter()
-        modules = self._task_modules(data, modules_members, seed, trace)
-        t3 = time.perf_counter()
+        executor = self._make_executor(data, seed, checkpoint_dir)
+        try:
+            t0 = time.perf_counter()
+            samples = self._task_ganesh(
+                data, seed, trace, executor=executor, checkpoint_dir=checkpoint_dir
+            )
+            t1 = time.perf_counter()
+            modules_members = self._task_consensus(samples)
+            t2 = time.perf_counter()
+            modules = self._task_modules(
+                data, modules_members, seed, trace, checkpoint_dir, executor=executor
+            )
+            t3 = time.perf_counter()
+        finally:
+            if executor is not None:
+                executor.close()
 
         if trace is not None:
             trace.mark_time("ganesh", t1 - t0)
@@ -93,7 +116,29 @@ class LemonTreeLearner:
                 len(t.internal_nodes()) for m in modules for t in m.trees
             ),
         }
+        if executor is not None:
+            stats["executor"] = {
+                "n_workers": executor.n_workers,
+                "worker_inits": executor.worker_inits(),
+                "pools_constructed": executor.stats.pools_constructed,
+                "matrix_transfers": executor.stats.matrix_transfers,
+            }
         return LearnResult(network=network, task_times=times, trace=trace, stats=stats)
+
+    def _make_executor(self, data: np.ndarray, seed: int, checkpoint_dir=None):
+        """One persistent task-pool executor for the whole invocation, or
+        ``None`` for the sequential in-process path."""
+        config = self.config
+        if config.resolve_n_workers() <= 1:
+            return None
+        from repro.parallel.executor import TaskPoolExecutor
+
+        parents = np.asarray(
+            config.resolve_candidate_parents(data.shape[0]), dtype=np.int64
+        )
+        return TaskPoolExecutor(
+            data, parents, config, seed, checkpoint_dir=checkpoint_dir
+        )
 
     # -- task-level public API ---------------------------------------------
     # Lemon-Tree is driven task by task in practice (separate invocations
@@ -101,10 +146,29 @@ class LemonTreeLearner:
     # GaneSH runs); these entry points expose the same workflow.
 
     def sample_clusterings(
-        self, matrix: ExpressionMatrix, seed: int, trace=None
+        self, matrix: ExpressionMatrix, seed: int, trace=None, checkpoint_dir=None
     ) -> list[np.ndarray]:
-        """Task 1 only: the ensemble of GaneSH variable-cluster samples."""
-        return self._task_ganesh(matrix.values, seed, trace)
+        """Task 1 only: the ensemble of GaneSH variable-cluster samples.
+
+        With ``config.n_workers > 1`` the G runs execute concurrently on
+        the persistent pool executor; because every run draws only its own
+        ``("ganesh", g)`` stream the ensemble is bit-identical to a
+        sequential pass.  ``checkpoint_dir`` persists each completed run to
+        ``ganesh_<g>.npz`` so an interrupted task re-executes only the
+        missing runs.
+        """
+        executor = self._make_executor(matrix.values, seed, checkpoint_dir)
+        try:
+            return self._task_ganesh(
+                matrix.values,
+                seed,
+                trace,
+                executor=executor,
+                checkpoint_dir=checkpoint_dir,
+            )
+        finally:
+            if executor is not None:
+                executor.close()
 
     def consensus(self, samples: list[np.ndarray]) -> list[list[int]]:
         """Task 2 only: consensus modules from a clustering ensemble."""
@@ -161,21 +225,36 @@ class LemonTreeLearner:
         )
 
     # -- task 1: GaneSH co-clustering --------------------------------------
-    def _task_ganesh(self, data: np.ndarray, seed: int, trace) -> list[np.ndarray]:
+    def _task_ganesh(
+        self,
+        data: np.ndarray,
+        seed: int,
+        trace,
+        executor=None,
+        checkpoint_dir=None,
+    ) -> list[np.ndarray]:
         config = self.config
+        if executor is not None and config.n_ganesh_runs > 1:
+            return executor.sample_ganesh_runs(config.n_ganesh_runs, trace=trace)
+        checkpoints = _GaneshCheckpoints(
+            checkpoint_dir, seed, config, data.shape[0]
+        )
         samples: list[np.ndarray] = []
         for g in range(config.n_ganesh_runs):
-            rng = GibbsRandom(make_stream(seed, "ganesh", g, backend=config.rng_backend))
-            hooks = _hooks_for(trace, run=g)
-            result = run_ganesh(
-                data,
-                rng,
-                n_update_steps=config.n_update_steps,
-                init_var_clusters=config.resolve_init_clusters(data.shape[0]),
-                prior=config.prior,
-                hooks=hooks,
-            )
-            samples.append(result.var_labels)
+            labels = checkpoints.load(g)
+            if labels is None:
+                labels = run_replicated_ganesh(
+                    data,
+                    seed,
+                    g,
+                    n_update_steps=config.n_update_steps,
+                    init_var_clusters=config.resolve_init_clusters(data.shape[0]),
+                    prior=config.prior,
+                    rng_backend=config.rng_backend,
+                    hooks=_hooks_for(trace, run=g),
+                )
+                checkpoints.store(g, labels)
+            samples.append(labels)
         return samples
 
     # -- task 2: consensus clustering ---------------------------------------
@@ -194,15 +273,18 @@ class LemonTreeLearner:
         seed: int,
         trace,
         checkpoint_dir=None,
+        executor=None,
     ) -> list[Module]:
         config = self.config
         n_vars = data.shape[0]
         parents = np.asarray(config.resolve_candidate_parents(n_vars), dtype=np.int64)
 
+        if executor is not None and modules_members:
+            return executor.learn_modules(modules_members, trace=trace)
         if config.resolve_n_workers() > 1 and modules_members:
-            from repro.parallel.executor import ModuleExecutor
+            from repro.parallel.executor import TaskPoolExecutor
 
-            with ModuleExecutor(
+            with TaskPoolExecutor(
                 data, parents, config, seed, checkpoint_dir=checkpoint_dir
             ) as executor:
                 return executor.learn_modules(modules_members, trace=trace)
@@ -418,6 +500,67 @@ class _ModuleCheckpoints:
         path = self._path(module.module_id)
         tmp = path.with_suffix(".json.tmp")
         tmp.write_text(json.dumps(payload))
+        tmp.replace(path)  # atomic: a killed run never leaves torn files
+
+
+class _GaneshCheckpoints:
+    """Per-run checkpoint store for resumable Task 1 execution.
+
+    Each completed GaneSH run ``g`` is persisted to ``ganesh_<g>.npz``
+    (labels array plus a JSON fingerprint).  Like the module checkpoints, a
+    file written under a different seed, RNG backend, sweep configuration
+    or data shape is ignored rather than silently reused — and because
+    every run consumes only its ``("ganesh", g)`` stream, a resumed task
+    produces exactly the ensemble an uninterrupted one would.
+    """
+
+    def __init__(self, directory, seed: int, config: LearnerConfig, n_vars: int) -> None:
+        from pathlib import Path
+
+        self.directory = Path(directory) if directory is not None else None
+        if self.directory is not None:
+            self.directory.mkdir(parents=True, exist_ok=True)
+        prior = config.prior
+        self.fingerprint = {
+            "seed": seed,
+            "rng_backend": config.rng_backend,
+            "n_update_steps": config.n_update_steps,
+            "init_var_clusters": config.resolve_init_clusters(n_vars),
+            "prior": [prior.mu0, prior.lambda0, prior.alpha0, prior.beta0],
+            "n_vars": n_vars,
+        }
+
+    def _path(self, run_index: int):
+        return self.directory / f"ganesh_{run_index}.npz"
+
+    def load(self, run_index: int) -> np.ndarray | None:
+        import json
+
+        if self.directory is None:
+            return None
+        path = self._path(run_index)
+        if not path.exists():
+            return None
+        try:
+            with np.load(path, allow_pickle=False) as payload:
+                if json.loads(str(payload["meta"])) != self.fingerprint:
+                    return None
+                return np.asarray(payload["labels"], dtype=np.int64)
+        except (OSError, ValueError, KeyError):  # torn or foreign file
+            return None
+
+    def store(self, run_index: int, labels: np.ndarray) -> None:
+        import json
+
+        if self.directory is None:
+            return
+        path = self._path(run_index)
+        tmp = path.with_suffix(".npz.tmp.npz")  # savez requires .npz
+        np.savez_compressed(
+            tmp,
+            meta=json.dumps(self.fingerprint),
+            labels=np.asarray(labels, dtype=np.int64),
+        )
         tmp.replace(path)  # atomic: a killed run never leaves torn files
 
 

@@ -18,7 +18,7 @@ from dataclasses import dataclass
 import numpy as np
 
 from repro.ganesh.state import CoClusterState, ObsClustering, init_sqrt_obs_labels
-from repro.rng.streams import GibbsRandom
+from repro.rng.streams import GibbsRandom, make_stream
 from repro.scoring.normal_gamma import DEFAULT_PRIOR, NormalGammaPrior
 
 
@@ -177,6 +177,37 @@ def run_ganesh(
     return GaneshResult(
         state=state, var_labels=state.var_labels.copy(), n_iterations=iterations
     )
+
+
+def run_replicated_ganesh(
+    data: np.ndarray,
+    seed: int,
+    run_index: int,
+    n_update_steps: int = 1,
+    init_var_clusters: int | None = None,
+    prior: NormalGammaPrior = DEFAULT_PRIOR,
+    rng_backend: str = "philox",
+    hooks: SweepHooks = _NO_HOOKS,
+) -> np.ndarray:
+    """GaneSH run ``run_index`` of a G-run ensemble, on its own stream.
+
+    Task 1 runs G independent chains whose only coupling is the data
+    matrix; each draws exclusively from the named ``("ganesh", g)`` stream,
+    so the sampled labels are a pure function of ``(seed, run_index)`` —
+    identical whether the runs execute sequentially, on a process pool in
+    any completion order, or as separate cluster jobs (Section 3.2.1's
+    communication-free group parallelism).
+    """
+    rng = GibbsRandom(make_stream(seed, "ganesh", run_index, backend=rng_backend))
+    result = run_ganesh(
+        data,
+        rng,
+        n_update_steps=n_update_steps,
+        init_var_clusters=init_var_clusters,
+        prior=prior,
+        hooks=hooks,
+    )
+    return result.var_labels
 
 
 def run_obs_only_ganesh(

@@ -57,6 +57,12 @@ class GenomicaConfig:
     beta_grid: tuple[float, ...] = DEFAULT_BETA_GRID
     prior: NormalGammaPrior = field(default_factory=lambda: DEFAULT_PRIOR)
     rng_backend: str = "philox"
+    #: worker processes for the final network build (1 = in-process; >1
+    #: learns the K module trees concurrently on the persistent
+    #: :class:`repro.parallel.executor.TaskPoolExecutor` — bit-identical
+    #: output because each module consumes only its own
+    #: ``("genomica-final", id)`` stream)
+    n_workers: int = 1
 
     def __post_init__(self) -> None:
         if self.n_modules < 1:
@@ -65,6 +71,8 @@ class GenomicaConfig:
             raise ValueError("max_iterations must be at least 1")
         if self.tree_update_steps < 1:
             raise ValueError("tree_update_steps must be at least 1")
+        if self.n_workers < 0:
+            raise ValueError("n_workers must be non-negative (0 = all cores)")
 
 
 @dataclass
@@ -257,60 +265,163 @@ class GenomicaLearner:
         hooks: SweepHooks = SweepHooks(),
         trace=None,
     ) -> ModuleNetwork:
-        """Final trees with the deterministic best split per node."""
+        """Final trees with the deterministic best split per node.
+
+        With ``config.n_workers > 1`` (and no trace — per-superstep hooks
+        only record in-process) the K module builds run concurrently on the
+        persistent task-pool executor; each consumes only its own
+        ``("genomica-final", id)`` stream, so the network is bit-identical
+        to the sequential loop.
+        """
         config = self.config
         data = matrix.values
-        modules = []
-        for module_id in range(k):
-            members = [int(v) for v in np.flatnonzero(assignment == module_id)]
-            if not members:
-                modules.append(Module(module_id=module_id, members=[]))
-                continue
-            block = data[members]
-            mrng = GibbsRandom(
-                make_stream(seed, "genomica-final", module_id, backend=config.rng_backend)
-            )
-            (labels,) = run_obs_only_ganesh(
-                block, mrng, n_update_steps=config.tree_update_steps,
-                burn_in=config.tree_update_steps - 1, prior=config.prior,
-                hooks=hooks,
-            )
-            tree = build_tree_structure(block, labels, module_id, config.prior, hooks)
-            selected: list[Split] = []
-            for node in tree.internal_nodes():
-                margins = node_margins(data, node, parents)
-                if trace is not None:
-                    trace.record(
-                        "modules.split_search",
-                        np.full(
-                            margins.shape[0],
-                            float(scorer.beta_grid.size * margins.shape[1]),
-                        ),
-                        n_collectives=1,
-                    )
-                scores, _beta, accepted = scorer.score_grid_best(margins)
-                if not accepted.any():
-                    continue
-                masked = np.where(accepted, scores, -np.inf)
-                best = int(np.argmax(masked))
-                n_obs = int(node.observations.size)
-                # Posterior of the chosen split under the node's softmax —
-                # comparable to Lemon-Tree's weights for parent scoring.
-                retained = scores[accepted]
-                weight = float(
-                    np.exp(scores[best] - retained.max())
-                    / np.exp(retained - retained.max()).sum()
+        members_of = [
+            [int(v) for v in np.flatnonzero(assignment == module_id)]
+            for module_id in range(k)
+        ]
+        if config.n_workers != 1 and trace is None and k > 1:
+            modules = self._build_modules_pooled(data, members_of, parents, seed)
+        else:
+            modules = [
+                build_final_module(
+                    data, config, module_id, members, parents, scorer, seed,
+                    hooks=hooks, trace=trace,
                 )
-                split = Split(
-                    parent=int(parents[best // n_obs]),
-                    value=float(data[parents[best // n_obs], node.observations[best % n_obs]]),
-                    node_id=node.node_id,
-                    posterior=weight,
-                    n_obs=n_obs,
-                )
-                node.weighted_splits = [split]
-                selected.append(split)
-            module = Module(module_id=module_id, members=members, trees=[tree])
-            module.weighted_parents = accumulate_parent_scores(selected)
-            modules.append(module)
+                for module_id, members in enumerate(members_of)
+            ]
         return ModuleNetwork(modules, matrix.var_names, matrix.n_obs)
+
+    def _build_modules_pooled(
+        self, data: np.ndarray, members_of, parents: np.ndarray, seed: int
+    ) -> list[Module]:
+        """The final network build fanned out over the persistent pool."""
+        from repro.parallel.executor import TaskPoolExecutor
+
+        config = self.config
+        # The executor's worker context carries a LearnerConfig; bridge the
+        # GENOMICA parameters into the fields _genomica_module_run reads.
+        bridge = LearnerConfig(
+            candidate_parents=config.candidate_parents,
+            beta_grid=config.beta_grid,
+            max_sampling_steps=1,
+            tree_update_steps=config.tree_update_steps,
+            prior=config.prior,
+            rng_backend=config.rng_backend,
+            n_workers=config.n_workers,
+        )
+        with TaskPoolExecutor(data, parents, bridge, seed) as executor:
+            modules = executor.submit_runs(
+                _genomica_module_run, list(enumerate(members_of))
+            )
+        return modules
+
+
+def select_best_split(
+    data: np.ndarray,
+    node,
+    parents: np.ndarray,
+    scores: np.ndarray,
+    accepted: np.ndarray,
+) -> Split | None:
+    """The deterministic GENOMICA split choice from flat grid-best scores.
+
+    ``scores``/``accepted`` are the node's candidate rows in enumeration
+    order (parent-major, observation-minor).  Returns ``None`` when no
+    candidate was accepted; otherwise attaches the chosen split to the node
+    and returns it.  Shared by the sequential, pooled and SPMD builds so
+    the argmax and posterior-weight conventions cannot drift apart.
+    """
+    if not accepted.any():
+        return None
+    masked = np.where(accepted, scores, -np.inf)
+    best = int(np.argmax(masked))
+    n_obs = int(node.observations.size)
+    # Posterior of the chosen split under the node's softmax — comparable
+    # to Lemon-Tree's weights for parent scoring.
+    retained = scores[accepted]
+    weight = float(
+        np.exp(scores[best] - retained.max())
+        / np.exp(retained - retained.max()).sum()
+    )
+    split = Split(
+        parent=int(parents[best // n_obs]),
+        value=float(data[parents[best // n_obs], node.observations[best % n_obs]]),
+        node_id=node.node_id,
+        posterior=weight,
+        n_obs=n_obs,
+    )
+    node.weighted_splits = [split]
+    return split
+
+
+def build_final_module(
+    data: np.ndarray,
+    config: GenomicaConfig,
+    module_id: int,
+    members: list[int],
+    parents: np.ndarray,
+    scorer: SplitScorer,
+    seed: int,
+    hooks: SweepHooks = SweepHooks(),
+    trace=None,
+) -> Module:
+    """One module of the final network (tree + deterministic best splits).
+
+    Self-contained: consumes only the module's ``("genomica-final", id)``
+    stream, so concurrent executions — in any order, on any worker —
+    produce the module the sequential loop would.
+    """
+    if not members:
+        return Module(module_id=module_id, members=[])
+    block = data[members]
+    mrng = GibbsRandom(
+        make_stream(seed, "genomica-final", module_id, backend=config.rng_backend)
+    )
+    (labels,) = run_obs_only_ganesh(
+        block, mrng, n_update_steps=config.tree_update_steps,
+        burn_in=config.tree_update_steps - 1, prior=config.prior,
+        hooks=hooks,
+    )
+    tree = build_tree_structure(block, labels, module_id, config.prior, hooks)
+    selected: list[Split] = []
+    for node in tree.internal_nodes():
+        margins = node_margins(data, node, parents)
+        if trace is not None:
+            trace.record(
+                "modules.split_search",
+                np.full(
+                    margins.shape[0],
+                    float(scorer.beta_grid.size * margins.shape[1]),
+                ),
+                n_collectives=1,
+            )
+        scores, _beta, accepted = scorer.score_grid_best(margins)
+        split = select_best_split(data, node, parents, scores, accepted)
+        if split is not None:
+            selected.append(split)
+    module = Module(module_id=module_id, members=members, trees=[tree])
+    module.weighted_parents = accumulate_parent_scores(selected)
+    return module
+
+
+def _genomica_module_run(ctx, item) -> Module:
+    """Task-pool entry point: one final-network module from the worker ctx.
+
+    The worker context carries the bridge :class:`LearnerConfig` installed
+    by :meth:`GenomicaLearner._build_modules_pooled`; reconstruct the
+    GENOMICA parameters it encodes and build the module against the
+    shared-memory matrix.
+    """
+    module_id, members = item
+    config = ctx["config"]
+    gconfig = GenomicaConfig(
+        tree_update_steps=config.tree_update_steps,
+        candidate_parents=config.candidate_parents,
+        beta_grid=config.beta_grid,
+        prior=config.prior,
+        rng_backend=config.rng_backend,
+    )
+    return build_final_module(
+        ctx["data"], gconfig, module_id, members, ctx["parents"],
+        ctx["scorer"], ctx["seed"],
+    )

@@ -30,7 +30,7 @@ import numpy as np
 from repro.core.config import LearnerConfig
 from repro.datatypes import ExpressionMatrix, Module, ModuleNetwork, Split
 from repro.ganesh.state import ObsClustering
-from repro.genomica.learner import GenomicaLearner
+from repro.genomica.learner import GenomicaLearner, select_best_split
 from repro.parallel.comm import run_spmd
 from repro.parallel.costmodel import block_range
 from repro.parallel.engine import _RankWork, p_merge_obs_sweep, p_reassign_obs_sweep
@@ -190,26 +190,12 @@ class ParallelGenomicaLearner(GenomicaLearner):
                     local_acc = np.zeros(0, dtype=bool)
                 scores = comm.allgather_concat(local_scores)
                 accepted = comm.allgather_concat(local_acc.astype(np.int8)).astype(bool)
-                if not accepted.any():
-                    continue
-                masked = np.where(accepted, scores, -np.inf)
-                best = int(np.argmax(masked))
-                retained = scores[accepted]
-                weight = float(
-                    np.exp(scores[best] - retained.max())
-                    / np.exp(retained - retained.max()).sum()
-                )
-                split = Split(
-                    parent=int(parents[best // n_obs]),
-                    value=float(
-                        data[parents[best // n_obs], node.observations[best % n_obs]]
-                    ),
-                    node_id=node.node_id,
-                    posterior=weight,
-                    n_obs=n_obs,
-                )
-                node.weighted_splits = [split]
-                selected.append(split)
+                # Replicated choice from the gathered flat arrays — the same
+                # helper the sequential and pooled builds use, so every rank
+                # picks the identical split.
+                split = select_best_split(data, node, parents, scores, accepted)
+                if split is not None:
+                    selected.append(split)
             module = Module(module_id=module_id, members=members, trees=[tree])
             module.weighted_parents = accumulate_parent_scores(selected)
             modules.append(module)

@@ -19,9 +19,10 @@ MPI implementation is reproduced with three cooperating layers:
 * :mod:`repro.parallel.pool` — a multiprocessing backend that fans the
   dominant split-scoring phase out across local cores for real wall-clock
   speedups (a fresh pool per scoring call).
-* :mod:`repro.parallel.executor` — the persistent process executor for
-  Task 3: the expression matrix lives in shared memory, one pool survives
-  the whole task, and whole modules are learned concurrently
+* :mod:`repro.parallel.executor` — the persistent task-pool executor for
+  Tasks 1 and 3: the expression matrix lives in shared memory, one pool
+  survives the whole ``learn`` invocation, the G GaneSH chains run
+  concurrently, and whole modules are learned concurrently
   (largest-first) with a fine-grained split-task fallback.
 """
 
@@ -39,14 +40,16 @@ __all__ = [
     "project_time",
     "ParallelLearner",
     "ModuleExecutor",
+    "TaskPoolExecutor",
+    "WorkerCrashedError",
 ]
 
 
 def __getattr__(name: str):
     # Imported lazily: executor pulls in core.learner, which would make
     # ``import repro.parallel`` eagerly import most of the package.
-    if name == "ModuleExecutor":
-        from repro.parallel.executor import ModuleExecutor
+    if name in ("ModuleExecutor", "TaskPoolExecutor", "WorkerCrashedError"):
+        from repro.parallel import executor
 
-        return ModuleExecutor
+        return getattr(executor, name)
     raise AttributeError(name)

@@ -1,17 +1,23 @@
-"""Persistent shared-memory executor with module-level parallelism (Task 3).
+"""Persistent shared-memory task-pool executor (Tasks 1 and 3).
 
 The per-call pool in :mod:`repro.parallel.pool` parallelizes only the inner
 level of Section 3.2 — the candidate-split scoring of nodes the driver has
 already built — and pays for a fresh ``mp.Pool`` (plus a full expression-
 matrix transfer) on every scoring call.  This module is the persistent
-replacement used by :meth:`repro.core.learner.LemonTreeLearner
-.learn_from_modules`:
+replacement: **one** pool and **one** shared-memory copy of the expression
+matrix serve every parallel phase of a ``learn`` invocation.
 
 * the expression matrix is placed in :mod:`multiprocessing.shared_memory`
-  **once** per Task 3 and workers attach to it zero-copy;
-* **one** worker pool survives across the whole task, whatever the number
-  of modules or scoring calls;
-* both of the paper's parallelism levels are available and chosen by a
+  once and workers attach to it zero-copy;
+* :meth:`TaskPoolExecutor.submit_runs` is the generic dispatch path: any
+  picklable ``fn(ctx, item)`` runs on the pool with the worker context
+  (matrix, parents, config, seed, checkpoint store) supplied in place, and
+  results return in *item order* regardless of completion order;
+* **Task 1** rides it via :meth:`TaskPoolExecutor.sample_ganesh_runs`: the
+  G independent GaneSH chains each draw their replicated ``("ganesh", g)``
+  stream — bit-identical to the sequential ensemble for any worker count
+  or completion order — and checkpoint to ``ganesh_<g>.npz`` for resume;
+* **Task 3** keeps both of the paper's parallelism levels, chosen by a
   cost heuristic:
 
   - ``module`` mode — each worker learns *whole* modules (observation
@@ -25,9 +31,12 @@ replacement used by :meth:`repro.core.learner.LemonTreeLearner
     fine-grained decomposition of Algorithm 5), for the few-huge-modules
     regime where module granularity cannot balance the load.
 
-Checkpoints are written as soon as a module completes — from the worker in
-module mode — so an interrupted parallel run resumes exactly like a
-sequential one.
+Checkpoints are written as soon as a unit completes — from the worker —
+so an interrupted parallel run resumes exactly like a sequential one.  A
+worker process that dies mid-run is detected (the pool's replacement
+worker re-runs the instrumented initializer) and surfaced as
+:class:`WorkerCrashedError` instead of a silent hang; the checkpoints the
+dead run left behind make the retry cheap.
 """
 
 from __future__ import annotations
@@ -36,14 +45,20 @@ import math
 import os
 import time
 from dataclasses import dataclass
+from multiprocessing import TimeoutError as _MpTimeoutError
 from multiprocessing import shared_memory
 
 import numpy as np
 
 from repro.core.config import LearnerConfig
-from repro.core.learner import _hooks_for, _ModuleCheckpoints, learn_single_module
+from repro.core.learner import (
+    _GaneshCheckpoints,
+    _hooks_for,
+    _ModuleCheckpoints,
+    learn_single_module,
+)
 from repro.datatypes import Module
-from repro.ganesh.coclustering import run_obs_only_ganesh
+from repro.ganesh.coclustering import run_obs_only_ganesh, run_replicated_ganesh
 from repro.parallel import pool as pool_mod
 from repro.parallel import poolutil
 from repro.parallel.pool import _subdivide, build_split_tasks
@@ -52,6 +67,17 @@ from repro.rng.streams import GibbsRandom, make_stream
 from repro.scoring.split_score import SplitScorer
 from repro.trees.hierarchy import build_tree_structure
 from repro.trees.splits import NodeSplitScores, select_node_splits
+
+
+class WorkerCrashedError(RuntimeError):
+    """A pool worker process died mid-task.
+
+    Raised by :meth:`TaskPoolExecutor.submit_runs` when the pool replaces a
+    worker that exited abnormally (detected via the instrumented
+    initializer re-running), instead of waiting forever for the dead
+    worker's lost task.  Checkpoints written before the crash remain valid;
+    re-running the same call executes only the missing units.
+    """
 
 
 def _make_scorer(config: LearnerConfig) -> SplitScorer:
@@ -82,11 +108,16 @@ class SharedMatrix:
 
     def close(self) -> None:
         self.array = None
-        self._shm.close()
         try:
-            self._shm.unlink()
-        except FileNotFoundError:  # pragma: no cover - already unlinked
-            pass
+            self._shm.close()
+        finally:
+            # Unlink even when the local unmap fails: the segment outliving
+            # the run (a /dev/shm leak) is strictly worse than a dangling
+            # mapping in a process that is about to exit.
+            try:
+                self._shm.unlink()
+            except FileNotFoundError:  # pragma: no cover - already unlinked
+                pass
 
 
 def _attach_shared(spec) -> tuple[shared_memory.SharedMemory, np.ndarray]:
@@ -112,11 +143,14 @@ def _executor_init(matrix_spec, parents, config, seed, checkpoint_dir, counter):
 
     ``counter`` is a shared ``mp.Value`` bumped once per initialized worker;
     tests read it to assert the matrix was shipped exactly once per worker
-    (i.e. the initializer ran once, never per task).
+    (i.e. the initializer ran once, never per task), and the driver reads
+    it mid-run to detect dead workers — the pool re-runs the initializer
+    for every replacement it spawns.
     """
     shm, data = _attach_shared(matrix_spec)
     pool_mod._init_worker(data, parents, config, seed)
     _STATE["shm"] = shm  # keep the mapping alive for the worker's lifetime
+    _STATE["checkpoint_dir"] = checkpoint_dir
     _STATE["checkpoints"] = (
         _ModuleCheckpoints(checkpoint_dir, seed, config)
         if checkpoint_dir is not None
@@ -127,36 +161,80 @@ def _executor_init(matrix_spec, parents, config, seed, checkpoint_dir, counter):
             counter.value += 1
 
 
-def _learn_module_task(item):
-    """Learn one whole module in a worker (module-level parallelism)."""
-    module_id, members, want_trace = item
-    t0 = time.perf_counter()
+def _worker_ctx() -> dict:
+    """The context handed to generic run functions inside a pool worker."""
     worker = pool_mod._WORKER
+    return {
+        "data": worker["data"],
+        "parents": worker["parents"],
+        "config": worker["config"],
+        "seed": worker["seed"],
+        "scorer": worker["scorer"],
+        "checkpoint_dir": _STATE.get("checkpoint_dir"),
+        "module_checkpoints": _STATE.get("checkpoints"),
+    }
+
+
+def _generic_run(payload):
+    """Pool entry point of :meth:`TaskPoolExecutor.submit_runs`.
+
+    Runs ``fn(ctx, item)`` and ships back the item's dispatch index (so
+    the driver reassembles results in item order whatever the completion
+    order), the worker pid and the task's wall time.
+    """
+    fn, index, item = payload
+    t0 = time.perf_counter()
+    result = fn(_worker_ctx(), item)
+    return index, result, os.getpid(), time.perf_counter() - t0
+
+
+def _ganesh_run(ctx, item):
+    """One Task 1 GaneSH chain on its replicated ``("ganesh", g)`` stream."""
+    g, want_trace = item
+    config = ctx["config"]
     # Recording (and shipping back) per-superstep work vectors is pure
     # overhead unless the driver was handed a trace.
     trace = WorkTrace() if want_trace else None
+    labels = run_replicated_ganesh(
+        ctx["data"],
+        ctx["seed"],
+        g,
+        n_update_steps=config.n_update_steps,
+        init_var_clusters=config.resolve_init_clusters(ctx["data"].shape[0]),
+        prior=config.prior,
+        rng_backend=config.rng_backend,
+        hooks=_hooks_for(trace, run=g),
+    )
+    if ctx["checkpoint_dir"] is not None:
+        _GaneshCheckpoints(
+            ctx["checkpoint_dir"], ctx["seed"], config, ctx["data"].shape[0]
+        ).store(g, labels)
+    return g, labels, (trace.steps if trace is not None else [])
+
+
+def _module_run(ctx, item):
+    """Learn one whole module (Task 3 module-level parallelism)."""
+    module_id, members, want_trace = item
+    trace = WorkTrace() if want_trace else None
     module = learn_single_module(
-        worker["data"],
+        ctx["data"],
         module_id,
         members,
-        worker["parents"],
-        worker["scorer"],
-        worker["config"],
-        worker["seed"],
+        ctx["parents"],
+        ctx["scorer"],
+        ctx["config"],
+        ctx["seed"],
         trace,
     )
-    checkpoints = _STATE.get("checkpoints")
+    checkpoints = ctx["module_checkpoints"]
     if checkpoints is not None:
         checkpoints.store(module)
-    steps = trace.steps if trace is not None else []
-    return module_id, module, steps, os.getpid(), time.perf_counter() - t0
+    return module_id, module, (trace.steps if trace is not None else [])
 
 
-def _score_split_task(task):
-    """Fine-grained split scoring plus worker identity and wall time."""
-    t0 = time.perf_counter()
-    result = pool_mod._score_task(task)
-    return result, os.getpid(), time.perf_counter() - t0
+def _score_chunk_run(ctx, task):
+    """Fine-grained candidate-split scoring (Task 3 split-level path)."""
+    return pool_mod._score_task(task)
 
 
 # -- driver-side phases of split mode --------------------------------------
@@ -362,18 +440,32 @@ class ExecutorStats:
 # -- the executor -----------------------------------------------------------
 
 
-class ModuleExecutor:
-    """Persistent worker pool learning Task 3 modules in parallel.
+class TaskPoolExecutor:
+    """Persistent worker pool running the pipeline's parallel phases.
 
     Usage::
 
-        with ModuleExecutor(data, parents, config, seed) as executor:
+        with TaskPoolExecutor(data, parents, config, seed) as executor:
+            samples = executor.sample_ganesh_runs(n_runs, trace=trace)
             modules = executor.learn_modules(modules_members, trace=trace)
 
     The pool and the shared expression matrix are created lazily on the
     first parallel dispatch and live until :meth:`close` (or context exit),
-    however many scoring calls Task 3 performs.
+    however many task phases or scoring calls ride them — one ``learn``
+    invocation pays for one pool construction and one matrix transfer
+    total, across Tasks 1 and 3.
+
+    :meth:`submit_runs` is the generic dispatch primitive the task-specific
+    entry points are built on; external callers (e.g. the pooled GENOMICA
+    network build) use it directly.
     """
+
+    #: test hook: a callable permuting the dispatch order of
+    #: :meth:`submit_runs` (``hook(indices) -> indices``).  Results are
+    #: reassembled by item index, so any permutation — and any completion
+    #: order it induces — must leave outputs bit-identical; the equivalence
+    #: tests shuffle dispatch through this to prove it.
+    dispatch_order_hook = None
 
     def __init__(
         self,
@@ -387,6 +479,7 @@ class ModuleExecutor:
         schedule: str | None = None,
         checkpoint_dir=None,
         mp_context: str | None = None,
+        crash_poll_seconds: float = 5.0,
     ) -> None:
         self.data = np.ascontiguousarray(data, dtype=np.float64)
         self.parents = np.asarray(parents, dtype=np.int64)
@@ -402,28 +495,44 @@ class ModuleExecutor:
         if self.parallel_mode not in ("auto", "module", "split"):
             raise ValueError("parallel_mode must be 'auto', 'module' or 'split'")
         self.checkpoint_dir = checkpoint_dir
+        self.crash_poll_seconds = float(crash_poll_seconds)
         self.stats = ExecutorStats(n_workers=self.n_workers)
         self._mp_context = mp_context
         self._pool = None
         self._shared: SharedMatrix | None = None
         self._init_counter = None
+        self._expected_inits = 0
         self._serial_ready = False
 
     # -- lifecycle ---------------------------------------------------------
-    def __enter__(self) -> "ModuleExecutor":
+    def __enter__(self) -> "TaskPoolExecutor":
         return self
 
     def __exit__(self, *exc) -> None:
         self.close()
 
     def close(self) -> None:
-        if self._pool is not None:
-            self._pool.terminate()
-            self._pool.join()
-            self._pool = None
-        if self._shared is not None:
-            self._shared.close()
-            self._shared = None
+        """Tear down the pool and unlink the shared-memory segment.
+
+        Ordered so the segment is always unlinked: a failure while
+        terminating the pool (or a pool poisoned by a crashed worker) must
+        not leak the matrix into ``/dev/shm`` — the context-manager exit of
+        ``learn_from_modules`` runs through here on every exception path.
+        """
+        pool, self._pool = self._pool, None
+        shared, self._shared = self._shared, None
+        try:
+            if pool is not None:
+                pool.terminate()
+                pool.join()
+        finally:
+            if shared is not None:
+                shared.close()
+            if self._serial_ready:
+                # Drop the in-process scoring state so the driver does not
+                # retain the matrix past the executor's lifetime.
+                pool_mod._clear_worker()
+                self._serial_ready = False
 
     def worker_inits(self) -> int:
         """How many worker initializations ran (== workers when the matrix
@@ -454,6 +563,7 @@ class ModuleExecutor:
                     self._init_counter,
                 ),
             )
+            self._expected_inits = self.n_workers
         return self._pool
 
     def _ensure_serial(self) -> None:
@@ -461,6 +571,148 @@ class ModuleExecutor:
         if not self._serial_ready:
             pool_mod._init_worker(self.data, self.parents, self.config, self.seed)
             self._serial_ready = True
+
+    def _serial_ctx(self) -> dict:
+        """The run context for in-process execution of generic tasks."""
+        self._ensure_serial()
+        worker = pool_mod._WORKER
+        return {
+            "data": worker["data"],
+            "parents": worker["parents"],
+            "config": worker["config"],
+            "seed": worker["seed"],
+            "scorer": worker["scorer"],
+            "checkpoint_dir": self.checkpoint_dir,
+            "module_checkpoints": (
+                _ModuleCheckpoints(self.checkpoint_dir, self.seed, self.config)
+                if self.checkpoint_dir is not None
+                else None
+            ),
+        }
+
+    # -- generic dispatch ---------------------------------------------------
+    def submit_runs(
+        self,
+        fn,
+        items,
+        *,
+        schedule: str | None = None,
+        chunksize: int | None = None,
+        trace=None,
+    ):
+        """Run ``fn(ctx, item)`` for every item on the persistent pool.
+
+        The generic task-pool path: ``fn`` must be a picklable module-level
+        callable; ``ctx`` supplies the worker's zero-copy view of the
+        expression matrix plus parents/config/seed/checkpoint store.  The
+        returned list is aligned with ``items`` regardless of dispatch
+        permutation (see :attr:`dispatch_order_hook`) or completion order.
+
+        ``schedule`` defaults to the executor's: ``dynamic`` pulls items
+        one at a time from a shared queue (``imap_unordered``), ``static``
+        maps contiguous equal-count chunks.  Worker busy seconds land in
+        ``trace.worker_times`` when a trace is given.  A worker process
+        dying mid-run raises :class:`WorkerCrashedError`; an exception
+        *raised* by ``fn`` propagates as itself.
+        """
+        items = list(items)
+        if not items:
+            return []
+        schedule = schedule or self.schedule
+        order = list(range(len(items)))
+        if self.dispatch_order_hook is not None:
+            order = list(self.dispatch_order_hook(order))
+        results: list = [None] * len(items)
+        busy: dict[int, float] = {}
+
+        if self.n_workers <= 1:
+            ctx = self._serial_ctx()
+            for index in order:
+                results[index] = fn(ctx, items[index])
+            return results
+
+        pool = self._ensure_pool()
+        payloads = [(fn, index, items[index]) for index in order]
+        if schedule == "static":
+            cs = chunksize or max(1, math.ceil(len(payloads) / self.n_workers))
+            handle = pool.map_async(_generic_run, payloads, chunksize=cs)
+            raw = self._await_crash_aware(handle)
+        else:
+            it = pool.imap_unordered(_generic_run, payloads, chunksize or 1)
+            raw = self._collect_crash_aware(it, len(payloads))
+        self.stats.tasks_dispatched += len(payloads)
+        for index, result, pid, secs in raw:
+            results[index] = result
+            busy[pid] = busy.get(pid, 0.0) + secs
+        if trace is not None:
+            self._record_worker_times(trace, busy)
+        return results
+
+    def _check_workers_alive(self) -> None:
+        """Raise if the pool replaced a dead worker since the last check.
+
+        The initializer counter only ever advances past ``n_workers`` when
+        ``mp.Pool`` re-ran it for a replacement worker — i.e. an original
+        worker exited abnormally and its in-flight task is lost for good.
+        """
+        if self._init_counter is not None and self.worker_inits() > self._expected_inits:
+            raise WorkerCrashedError(
+                f"{self.worker_inits() - self._expected_inits} pool worker(s) "
+                "died mid-run; completed checkpoints remain valid — re-run to "
+                "resume from them"
+            )
+
+    def _collect_crash_aware(self, it, n_expected: int) -> list:
+        out = []
+        while len(out) < n_expected:
+            try:
+                out.append(it.next(timeout=self.crash_poll_seconds))
+            except _MpTimeoutError:
+                self._check_workers_alive()
+        return out
+
+    def _await_crash_aware(self, handle) -> list:
+        while True:
+            try:
+                return handle.get(timeout=self.crash_poll_seconds)
+            except _MpTimeoutError:
+                self._check_workers_alive()
+
+    # -- task 1: the G GaneSH co-clustering runs ---------------------------
+    def sample_ganesh_runs(self, n_runs: int, trace=None) -> list[np.ndarray]:
+        """Task 1 on the pool: the G chains concurrently, resumable.
+
+        Runs already checkpointed as ``ganesh_<g>.npz`` are loaded instead
+        of re-executed; the rest dispatch through :meth:`submit_runs`
+        (dynamic pulling — chain run-times vary stochastically).  The
+        returned ensemble is bit-identical to the sequential loop because
+        run ``g`` consumes only its replicated ``("ganesh", g)`` stream.
+        """
+        checkpoints = _GaneshCheckpoints(
+            self.checkpoint_dir, self.seed, self.config, self.data.shape[0]
+        )
+        samples: dict[int, np.ndarray] = {}
+        pending: list[int] = []
+        for g in range(n_runs):
+            labels = checkpoints.load(g)
+            if labels is None:
+                pending.append(g)
+            else:
+                samples[g] = labels
+        if pending:
+            results = self.submit_runs(
+                _ganesh_run,
+                [(g, trace is not None) for g in pending],
+                schedule="dynamic",
+                trace=trace,
+            )
+            # Merge per-run step records in ascending run order so the trace
+            # is deterministic whatever the completion order was.
+            for g, labels, steps in sorted(results, key=lambda r: r[0]):
+                samples[g] = labels
+                if trace is not None:
+                    trace.steps.extend(steps)
+        return [samples[g] for g in range(n_runs)]
 
     # -- fine-grained scoring (the inner level) ----------------------------
     def score_splits(self, node_records, trace=None):
@@ -477,31 +729,21 @@ class ModuleExecutor:
         accepted = np.zeros(total, dtype=bool)
 
         if self.n_workers <= 1 or total == 0:
-            self._ensure_serial()
-            results = [
-                (pool_mod._score_task(t), os.getpid(), 0.0) for t in tasks
-            ]
+            work_items, chunksize = tasks, None
+        elif self.schedule == "static":
+            work_items = _subdivide(tasks, total, self.n_workers)
+            chunksize = max(1, len(work_items) // self.n_workers)
         else:
-            pool = self._ensure_pool()
-            if self.schedule == "static":
-                work_items = _subdivide(tasks, total, self.n_workers)
-                chunksize = max(1, len(work_items) // self.n_workers)
-            else:
-                work_items = _subdivide(tasks, total, 4 * self.n_workers)
-                chunksize = 1
-            results = list(
-                pool.imap_unordered(_score_split_task, work_items, chunksize)
-            )
-            self.stats.tasks_dispatched += len(work_items)
+            work_items = _subdivide(tasks, total, 4 * self.n_workers)
+            chunksize = 1
+        results = self.submit_runs(
+            _score_chunk_run, work_items, chunksize=chunksize, trace=trace
+        )
 
-        busy: dict[int, float] = {}
-        for (offset, sc, st, ac), pid, secs in results:
+        for offset, sc, st, ac in results:
             log_scores[offset : offset + sc.size] = sc
             steps[offset : offset + st.size] = st
             accepted[offset : offset + ac.size] = ac
-            busy[pid] = busy.get(pid, 0.0) + secs
-        if trace is not None and self.n_workers > 1:
-            self._record_worker_times(trace, busy)
         return log_scores, steps, accepted
 
     def _record_worker_times(self, trace, busy: dict[int, float]) -> None:
@@ -565,7 +807,6 @@ class ModuleExecutor:
         checkpoint directory), so an interruption loses at most the modules
         currently in flight — the same guarantee as the sequential loop.
         """
-        pool = self._ensure_pool()
         n_obs = self.data.shape[1]
         items = [
             (module_id, members, trace is not None)
@@ -579,21 +820,12 @@ class ModuleExecutor:
                     item[0],
                 )
             )
-            results = list(pool.imap_unordered(_learn_module_task, items, 1))
-        else:
-            # Static: contiguous equal-count blocks of the module list.
-            chunksize = math.ceil(len(items) / self.n_workers)
-            results = pool.map(_learn_module_task, items, chunksize=chunksize)
-        self.stats.tasks_dispatched += len(pending)
+        results = self.submit_runs(_module_run, items, trace=trace)
 
-        busy: dict[int, float] = {}
-        for module_id, module, steps, pid, secs in sorted(results):
+        for module_id, module, steps in sorted(results):
             modules[module_id] = module
-            busy[pid] = busy.get(pid, 0.0) + secs
             if trace is not None:
                 trace.steps.extend(steps)
-        if trace is not None:
-            self._record_worker_times(trace, busy)
 
     def _learn_modules_fine(self, pending, modules, checkpoints, trace) -> None:
         """Split-level parallelism: driver-side trees, pooled flat scoring.
@@ -634,3 +866,8 @@ class ModuleExecutor:
             )
             checkpoints.store(module)
             modules[module_id] = module
+
+
+#: Backward-compatible name from when the executor only learned modules
+#: (Task 3); new code should say :class:`TaskPoolExecutor`.
+ModuleExecutor = TaskPoolExecutor

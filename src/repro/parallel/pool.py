@@ -40,6 +40,15 @@ from repro.trees.splits import margins_from_arrays
 _WORKER: dict = {}
 
 
+def _clear_worker() -> None:
+    """Drop the installed worker state (and its matrix reference).
+
+    Called by the executor's serial path on close so an in-process run does
+    not keep the expression matrix alive through this module-level global.
+    """
+    _WORKER.clear()
+
+
 def _init_worker(data, parents, config: LearnerConfig, seed: int) -> None:
     _WORKER["data"] = np.asarray(data)
     _WORKER["parents"] = np.asarray(parents, dtype=np.int64)

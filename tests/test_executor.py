@@ -17,9 +17,11 @@ import pytest
 from repro.core.config import LearnerConfig
 from repro.core.learner import LemonTreeLearner
 from repro.datatypes import ModuleNetwork
+from repro.parallel import pool as pool_mod
 from repro.parallel import poolutil
 from repro.parallel.executor import (
     ModuleExecutor,
+    TaskPoolExecutor,
     choose_mode,
     estimate_module_cost,
     learn_modules_percall_pool,
@@ -179,6 +181,134 @@ class TestSingleTransfer:
             executor.learn_modules(members)
         executor_pools = poolutil.counters()["pool_constructions"]
         assert executor_pools == 1 < percall_pools
+
+
+def _echo_run(ctx, item):
+    """submit_runs test task: prove the worker context is installed."""
+    assert ctx["data"] is not None and ctx["config"] is not None
+    return item * 10
+
+
+def _raise_run(ctx, item):
+    raise ValueError(f"injected for item {item}")
+
+
+class TestSubmitRuns:
+    @pytest.mark.parametrize("n_workers", [1, 2])
+    @pytest.mark.parametrize("schedule", ["static", "dynamic"])
+    def test_results_in_item_order(self, setup, n_workers, schedule):
+        matrix, config, _members, _reference = setup
+        parents = _parents(matrix, config)
+        with TaskPoolExecutor(
+            matrix.values, parents, config, 5, n_workers=n_workers,
+            schedule=schedule,
+        ) as executor:
+            results = executor.submit_runs(_echo_run, list(range(7)))
+        assert results == [i * 10 for i in range(7)]
+
+    def test_dispatch_hook_does_not_change_result_order(self, setup):
+        matrix, config, _members, _reference = setup
+        parents = _parents(matrix, config)
+        TaskPoolExecutor.dispatch_order_hook = staticmethod(
+            lambda order: list(reversed(order))
+        )
+        try:
+            with TaskPoolExecutor(
+                matrix.values, parents, config, 5, n_workers=2
+            ) as executor:
+                results = executor.submit_runs(_echo_run, list(range(6)))
+        finally:
+            TaskPoolExecutor.dispatch_order_hook = None
+        assert results == [i * 10 for i in range(6)]
+
+    def test_empty_items(self, setup):
+        matrix, config, _members, _reference = setup
+        parents = _parents(matrix, config)
+        with TaskPoolExecutor(
+            matrix.values, parents, config, 5, n_workers=2
+        ) as executor:
+            assert executor.submit_runs(_echo_run, []) == []
+            assert executor.worker_inits() == 0  # pool never constructed
+
+    def test_task_exception_propagates(self, setup):
+        matrix, config, _members, _reference = setup
+        parents = _parents(matrix, config)
+        with TaskPoolExecutor(
+            matrix.values, parents, config, 5, n_workers=2
+        ) as executor:
+            with pytest.raises(ValueError, match="injected"):
+                executor.submit_runs(_raise_run, [0, 1, 2])
+
+
+class TestTeardown:
+    def test_segment_unlinked_on_exception_inside_context(self, setup):
+        """Regression: an exception raised while the pool is live must not
+        leak the shared-memory segment (the learn_from_modules path exits
+        through the executor's context manager)."""
+        from multiprocessing import shared_memory
+
+        matrix, config, _members, _reference = setup
+        parents = _parents(matrix, config)
+        segment = None
+        with pytest.raises(RuntimeError, match="injected"):
+            with TaskPoolExecutor(
+                matrix.values, parents, config, 5, n_workers=2
+            ) as executor:
+                executor.submit_runs(_echo_run, [1, 2])
+                segment = executor._shared.spec[0]
+                raise RuntimeError("injected")
+        assert segment is not None
+        with pytest.raises(FileNotFoundError):
+            shared_memory.SharedMemory(name=segment)
+
+    def test_learn_from_modules_closes_executor_on_failure(
+        self, setup, monkeypatch
+    ):
+        """Regression for the teardown leak: an exception raised inside a
+        worker task during learn_from_modules propagates as itself and the
+        context-manager exit unlinks the shared segment."""
+        from repro.parallel import executor as executor_mod
+
+        matrix, config, members, _reference = setup
+
+        def boom(*args, **kwargs):
+            raise ValueError("injected module failure")
+
+        # Fork-inherited: workers resolve learn_single_module through the
+        # executor module's globals, so the patch reaches them.
+        monkeypatch.setattr(executor_mod, "learn_single_module", boom)
+        before = _shm_names()
+        cfg = config.with_updates(n_workers=2, parallel_mode="module")
+        with pytest.raises(ValueError, match="injected module failure"):
+            LemonTreeLearner(cfg).learn_from_modules(matrix, members, seed=5)
+        assert _shm_names() == before
+
+    def test_serial_close_clears_worker_state(self, setup):
+        matrix, config, _members, _reference = setup
+        parents = _parents(matrix, config)
+        with TaskPoolExecutor(
+            matrix.values, parents, config, 5, n_workers=1
+        ) as executor:
+            executor.submit_runs(_echo_run, [0, 1])
+            assert pool_mod._WORKER  # installed in-process
+        assert pool_mod._WORKER == {}
+
+    def test_close_is_idempotent(self, setup):
+        matrix, config, _members, _reference = setup
+        parents = _parents(matrix, config)
+        executor = TaskPoolExecutor(matrix.values, parents, config, 5, n_workers=2)
+        executor.submit_runs(_echo_run, [0])
+        executor.close()
+        executor.close()  # second close must be a no-op, not an error
+
+
+def _shm_names():
+    import os
+
+    try:
+        return set(os.listdir("/dev/shm"))
+    except FileNotFoundError:  # pragma: no cover - non-Linux
+        return set()
 
 
 class TestModeHeuristic:

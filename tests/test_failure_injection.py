@@ -1,5 +1,7 @@
 """Failure injection and degenerate-input behaviour."""
 
+import os
+
 import numpy as np
 import pytest
 
@@ -8,6 +10,7 @@ from repro.core.learner import LemonTreeLearner
 from repro.datatypes import ExpressionMatrix
 from repro.parallel.comm import SpmdFailure, run_spmd
 from repro.parallel.engine import ParallelLearner
+from repro.parallel.executor import TaskPoolExecutor, WorkerCrashedError
 
 
 class TestSpmdFailures:
@@ -42,6 +45,33 @@ class TestSpmdFailures:
         with pytest.raises(SpmdFailure) as err:
             run_spmd(2, fn)
         assert "rank 0" in str(err.value)
+
+
+def _exit_mid_run(ctx, item):
+    """A task whose worker process dies outright partway through the
+    batch (``os._exit`` skips all exception handling, like a kill -9)."""
+    if item == 2:
+        os._exit(1)
+    return item
+
+
+class TestWorkerDeath:
+    @pytest.mark.parametrize("schedule", ["static", "dynamic"])
+    def test_dead_worker_detected_not_hung(self, tiny_matrix, schedule):
+        """mp.Pool silently respawns dead workers and would wait forever
+        for the lost task; the executor must surface the crash instead."""
+        config = LearnerConfig(max_sampling_steps=3, n_workers=2)
+        parents = np.asarray(range(tiny_matrix.n_vars), dtype=np.int64)
+        with TaskPoolExecutor(
+            tiny_matrix.values, parents, config, 1, crash_poll_seconds=0.2,
+        ) as executor:
+            with pytest.raises(WorkerCrashedError):
+                executor.submit_runs(
+                    _exit_mid_run, list(range(6)), schedule=schedule
+                )
+            # The replacement worker re-ran the initializer: visible proof
+            # of the death, and the mechanism the detector relies on.
+            assert executor.worker_inits() > 2
 
 
 class TestDegenerateData:

@@ -152,6 +152,41 @@ class TestParallelGenomica:
         assert parallel.network == sequential.network
 
 
+class TestPooledGenomica:
+    """The final network build on the persistent task-pool executor."""
+
+    @pytest.mark.parametrize("n_workers", [2, 4])
+    def test_identical_to_sequential(self, easy_dataset, easy_result, n_workers):
+        config = GenomicaConfig(n_modules=3, max_iterations=8, n_workers=n_workers)
+        pooled = GenomicaLearner(config).learn(easy_dataset.matrix, seed=5)
+        assert pooled.network == easy_result.network
+        assert pooled.n_iterations == easy_result.n_iterations
+        assert pooled.score_history == easy_result.score_history
+
+    def test_mrg_backend(self, easy_dataset):
+        config = GenomicaConfig(n_modules=3, max_iterations=3, rng_backend="mrg")
+        sequential = GenomicaLearner(config).learn(easy_dataset.matrix, seed=2)
+        pooled = GenomicaLearner(
+            GenomicaConfig(
+                n_modules=3, max_iterations=3, rng_backend="mrg", n_workers=2
+            )
+        ).learn(easy_dataset.matrix, seed=2)
+        assert pooled.network == sequential.network
+
+    def test_single_pool_construction(self, easy_dataset):
+        from repro.parallel import poolutil
+
+        poolutil.reset_counters()
+        config = GenomicaConfig(n_modules=3, max_iterations=3, n_workers=2)
+        GenomicaLearner(config).learn(easy_dataset.matrix, seed=5)
+        assert poolutil.counters()["pool_constructions"] == 1
+        assert poolutil.counters()["matrix_transfers"] == 1
+
+    def test_invalid_worker_count_rejected(self):
+        with pytest.raises(ValueError):
+            GenomicaConfig(n_workers=-1)
+
+
 class TestGenomicaTrace:
     def test_trace_recorded_and_projects(self, easy_dataset):
         config = GenomicaConfig(n_modules=3, max_iterations=3)
