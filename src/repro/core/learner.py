@@ -419,11 +419,17 @@ class _ModuleCheckpoints:
     members): a checkpoint written under different learning parameters or
     for a different module composition is ignored rather than silently
     reused.
+
+    With a ``writer`` (an :class:`repro.parallel.checkpoint_writer.
+    AsyncCheckpointWriter`), :meth:`store` serializes the payload up front
+    and hands the file write + atomic rename to the background thread so
+    the caller never stalls on the filesystem.
     """
 
-    def __init__(self, directory, seed: int, config: LearnerConfig) -> None:
+    def __init__(self, directory, seed: int, config: LearnerConfig, writer=None) -> None:
         from pathlib import Path
 
+        self.writer = writer
         self.directory = Path(directory) if directory is not None else None
         if self.directory is not None:
             self.directory.mkdir(parents=True, exist_ok=True)
@@ -499,8 +505,16 @@ class _ModuleCheckpoints:
         }
         path = self._path(module.module_id)
         tmp = path.with_suffix(".json.tmp")
-        tmp.write_text(json.dumps(payload))
-        tmp.replace(path)  # atomic: a killed run never leaves torn files
+        text = json.dumps(payload)
+
+        def write() -> None:
+            tmp.write_text(text)
+            tmp.replace(path)  # atomic: a killed run never leaves torn files
+
+        if self.writer is not None:
+            self.writer.submit(write)
+        else:
+            write()
 
 
 class _GaneshCheckpoints:
@@ -512,11 +526,17 @@ class _GaneshCheckpoints:
     or data shape is ignored rather than silently reused — and because
     every run consumes only its ``("ganesh", g)`` stream, a resumed task
     produces exactly the ensemble an uninterrupted one would.
+
+    Like the module store, an optional ``writer`` moves the ``.npz`` write
+    and atomic rename onto a background thread.
     """
 
-    def __init__(self, directory, seed: int, config: LearnerConfig, n_vars: int) -> None:
+    def __init__(
+        self, directory, seed: int, config: LearnerConfig, n_vars: int, writer=None
+    ) -> None:
         from pathlib import Path
 
+        self.writer = writer
         self.directory = Path(directory) if directory is not None else None
         if self.directory is not None:
             self.directory.mkdir(parents=True, exist_ok=True)
@@ -556,12 +576,18 @@ class _GaneshCheckpoints:
             return
         path = self._path(run_index)
         tmp = path.with_suffix(".npz.tmp.npz")  # savez requires .npz
-        np.savez_compressed(
-            tmp,
-            meta=json.dumps(self.fingerprint),
-            labels=np.asarray(labels, dtype=np.int64),
-        )
-        tmp.replace(path)  # atomic: a killed run never leaves torn files
+        meta = json.dumps(self.fingerprint)
+        # Private copy: the caller may mutate its labels after store returns.
+        labels = np.array(labels, dtype=np.int64, copy=True)
+
+        def write() -> None:
+            np.savez_compressed(tmp, meta=meta, labels=labels)
+            tmp.replace(path)  # atomic: a killed run never leaves torn files
+
+        if self.writer is not None:
+            self.writer.submit(write)
+        else:
+            write()
 
 
 def _hooks_for(trace, run: int | None = None) -> SweepHooks:

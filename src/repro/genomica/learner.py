@@ -39,7 +39,7 @@ from repro.scoring.normal_gamma import DEFAULT_PRIOR, NormalGammaPrior, log_marg
 from repro.scoring.split_score import DEFAULT_BETA_GRID, SplitScorer
 from repro.trees.hierarchy import build_tree_structure
 from repro.trees.parents import accumulate_parent_scores
-from repro.trees.splits import node_margins
+from repro.trees.splits import node_kernel
 
 
 @dataclass(frozen=True)
@@ -116,53 +116,58 @@ class GenomicaLearner:
         assignment = rng.random_labels(n, k)
         self._fill_empty_modules(assignment, k, rng)
 
+        # One persistent executor serves every pooled phase: all M-step
+        # iterations and the final network build (a single pool, a single
+        # shared-memory matrix transfer).  Per-superstep trace hooks only
+        # record in-process, so traced runs stay sequential.
+        executor = None
+        if config.n_workers != 1 and trace is None and k > 1:
+            executor = self._make_executor(data, parents, seed)
+
         history: list[float] = []
         converged = False
         leaf_partitions: list[list[np.ndarray]] = []
         iterations = 0
-        for iteration in range(config.max_iterations):
-            iterations = iteration + 1
-            # M-step: per-module observation clustering -> leaf partition.
-            leaf_partitions = []
-            for module_id in range(k):
-                members = np.flatnonzero(assignment == module_id)
-                block = data[members]
-                mrng = GibbsRandom(
-                    make_stream(
-                        seed, "genomica-tree", iteration, module_id,
-                        backend=config.rng_backend,
-                    )
+        try:
+            for iteration in range(config.max_iterations):
+                iterations = iteration + 1
+                # M-step: per-module observation clustering -> leaf partition.
+                label_runs = self._m_step_labels(
+                    data, assignment, k, iteration, seed, hooks, executor
                 )
-                (labels,) = run_obs_only_ganesh(
-                    block, mrng, n_update_steps=config.tree_update_steps,
-                    burn_in=config.tree_update_steps - 1, prior=config.prior,
-                    hooks=hooks,
-                )
-                leaves = [
-                    np.flatnonzero(labels == cid)
-                    for cid in range(int(labels.max()) + 1)
+                leaf_partitions = [
+                    [
+                        np.flatnonzero(labels == cid)
+                        for cid in range(int(labels.max()) + 1)
+                    ]
+                    for labels in label_runs
                 ]
-                leaf_partitions.append(leaves)
 
-            # E-step: reassign variables by held-out predictive score.
-            if trace is not None:
-                per_var = float(sum(len(lv) for lv in leaf_partitions))
-                trace.record(
-                    "modules.e_step",
-                    np.full(n, per_var * m / max(1, k)),
-                    n_collectives=2,  # assignment all-gather + score reduce
+                # E-step: reassign variables by held-out predictive score.
+                if trace is not None:
+                    per_var = float(sum(len(lv) for lv in leaf_partitions))
+                    trace.record(
+                        "modules.e_step",
+                        np.full(n, per_var * m / max(1, k)),
+                        n_collectives=2,  # assignment all-gather + score reduce
+                    )
+                new_assignment, score = self._reassign(
+                    data, assignment, leaf_partitions
                 )
-            new_assignment, score = self._reassign(data, assignment, leaf_partitions)
-            history.append(score)
-            if np.array_equal(new_assignment, assignment):
-                converged = True
-                break
-            assignment = new_assignment
-            self._fill_empty_modules(assignment, k, rng)
+                history.append(score)
+                if np.array_equal(new_assignment, assignment):
+                    converged = True
+                    break
+                assignment = new_assignment
+                self._fill_empty_modules(assignment, k, rng)
 
-        network = self._build_network(
-            matrix, assignment, k, parents, scorer, seed, hooks, trace
-        )
+            network = self._build_network(
+                matrix, assignment, k, parents, scorer, seed, hooks, trace,
+                executor=executor,
+            )
+        finally:
+            if executor is not None:
+                executor.close()
         elapsed = time.perf_counter() - t0
         if trace is not None:
             trace.mark_time("modules", elapsed)
@@ -175,6 +180,51 @@ class GenomicaLearner:
         )
 
     # -- steps ------------------------------------------------------------
+    def _m_step_labels(
+        self,
+        data: np.ndarray,
+        assignment: np.ndarray,
+        k: int,
+        iteration: int,
+        seed: int,
+        hooks: SweepHooks,
+        executor,
+    ) -> list[np.ndarray]:
+        """One M-step's per-module observation clusterings.
+
+        With an executor, the K clustering chains of this iteration are
+        dispatched through ``submit_runs`` and run concurrently: each chain
+        consumes only its own ``("genomica-tree", iteration, id)`` stream
+        and the module memberships are computed driver-side beforehand, so
+        the labels are bit-identical to the sequential loop in any
+        dispatch order.
+        """
+        config = self.config
+        if executor is not None:
+            items = [
+                (iteration, module_id,
+                 [int(v) for v in np.flatnonzero(assignment == module_id)])
+                for module_id in range(k)
+            ]
+            return executor.submit_runs(_genomica_mstep_run, items)
+        label_runs: list[np.ndarray] = []
+        for module_id in range(k):
+            members = np.flatnonzero(assignment == module_id)
+            block = data[members]
+            mrng = GibbsRandom(
+                make_stream(
+                    seed, "genomica-tree", iteration, module_id,
+                    backend=config.rng_backend,
+                )
+            )
+            (labels,) = run_obs_only_ganesh(
+                block, mrng, n_update_steps=config.tree_update_steps,
+                burn_in=config.tree_update_steps - 1, prior=config.prior,
+                hooks=hooks,
+            )
+            label_runs.append(labels)
+        return label_runs
+
     def _fill_empty_modules(self, assignment: np.ndarray, k: int, rng: GibbsRandom) -> None:
         """Ensure no module is empty (GENOMICA keeps K fixed)."""
         counts = np.bincount(assignment, minlength=k)
@@ -264,14 +314,15 @@ class GenomicaLearner:
         seed: int,
         hooks: SweepHooks = SweepHooks(),
         trace=None,
+        executor=None,
     ) -> ModuleNetwork:
         """Final trees with the deterministic best split per node.
 
-        With ``config.n_workers > 1`` (and no trace — per-superstep hooks
-        only record in-process) the K module builds run concurrently on the
-        persistent task-pool executor; each consumes only its own
-        ``("genomica-final", id)`` stream, so the network is bit-identical
-        to the sequential loop.
+        With an executor (``config.n_workers > 1`` and no trace —
+        per-superstep hooks only record in-process) the K module builds run
+        concurrently on the persistent task-pool executor; each consumes
+        only its own ``("genomica-final", id)`` stream, so the network is
+        bit-identical to the sequential loop.
         """
         config = self.config
         data = matrix.values
@@ -279,8 +330,12 @@ class GenomicaLearner:
             [int(v) for v in np.flatnonzero(assignment == module_id)]
             for module_id in range(k)
         ]
-        if config.n_workers != 1 and trace is None and k > 1:
+        if executor is None and config.n_workers != 1 and trace is None and k > 1:
             modules = self._build_modules_pooled(data, members_of, parents, seed)
+        elif executor is not None:
+            modules = executor.submit_runs(
+                _genomica_module_run, list(enumerate(members_of))
+            )
         else:
             modules = [
                 build_final_module(
@@ -291,15 +346,13 @@ class GenomicaLearner:
             ]
         return ModuleNetwork(modules, matrix.var_names, matrix.n_obs)
 
-    def _build_modules_pooled(
-        self, data: np.ndarray, members_of, parents: np.ndarray, seed: int
-    ) -> list[Module]:
-        """The final network build fanned out over the persistent pool."""
+    def _make_executor(self, data: np.ndarray, parents: np.ndarray, seed: int):
+        """A persistent task-pool executor carrying the GENOMICA bridge config."""
         from repro.parallel.executor import TaskPoolExecutor
 
         config = self.config
         # The executor's worker context carries a LearnerConfig; bridge the
-        # GENOMICA parameters into the fields _genomica_module_run reads.
+        # GENOMICA parameters into the fields the worker entry points read.
         bridge = LearnerConfig(
             candidate_parents=config.candidate_parents,
             beta_grid=config.beta_grid,
@@ -309,7 +362,13 @@ class GenomicaLearner:
             rng_backend=config.rng_backend,
             n_workers=config.n_workers,
         )
-        with TaskPoolExecutor(data, parents, bridge, seed) as executor:
+        return TaskPoolExecutor(data, parents, bridge, seed)
+
+    def _build_modules_pooled(
+        self, data: np.ndarray, members_of, parents: np.ndarray, seed: int
+    ) -> list[Module]:
+        """The final network build fanned out over a one-shot pool."""
+        with self._make_executor(data, parents, seed) as executor:
             modules = executor.submit_runs(
                 _genomica_module_run, list(enumerate(members_of))
             )
@@ -385,23 +444,48 @@ def build_final_module(
     tree = build_tree_structure(block, labels, module_id, config.prior, hooks)
     selected: list[Split] = []
     for node in tree.internal_nodes():
-        margins = node_margins(data, node, parents)
+        kernel = node_kernel(data, node, parents, scorer.beta_grid)
         if trace is not None:
             trace.record(
                 "modules.split_search",
                 np.full(
-                    margins.shape[0],
-                    float(scorer.beta_grid.size * margins.shape[1]),
+                    kernel.n_items,
+                    float(scorer.beta_grid.size * kernel.n_obs),
                 ),
                 n_collectives=1,
             )
-        scores, _beta, accepted = scorer.score_grid_best(margins)
+        scores, _beta, accepted = scorer.score_grid_best_kernel(kernel)
         split = select_best_split(data, node, parents, scores, accepted)
         if split is not None:
             selected.append(split)
     module = Module(module_id=module_id, members=members, trees=[tree])
     module.weighted_parents = accumulate_parent_scores(selected)
     return module
+
+
+def _genomica_mstep_run(ctx, item) -> np.ndarray:
+    """Task-pool entry point: one M-step observation clustering.
+
+    ``item`` is ``(iteration, module_id, members)``; the member list is
+    computed driver-side under the current assignment, so the worker only
+    replays the module's private ``("genomica-tree", iteration, id)``
+    stream against the shared-memory matrix — bit-identical to the
+    sequential loop regardless of dispatch order.
+    """
+    iteration, module_id, members = item
+    config = ctx["config"]
+    block = ctx["data"][np.asarray(members, dtype=np.int64)]
+    mrng = GibbsRandom(
+        make_stream(
+            ctx["seed"], "genomica-tree", iteration, module_id,
+            backend=config.rng_backend,
+        )
+    )
+    (labels,) = run_obs_only_ganesh(
+        block, mrng, n_update_steps=config.tree_update_steps,
+        burn_in=config.tree_update_steps - 1, prior=config.prior,
+    )
+    return labels
 
 
 def _genomica_module_run(ctx, item) -> Module:

@@ -38,7 +38,7 @@ from repro.rng.streams import GibbsRandom, make_stream
 from repro.scoring.split_score import SplitScorer
 from repro.trees.hierarchy import build_tree_structure
 from repro.trees.parents import accumulate_parent_scores
-from repro.trees.splits import node_margins
+from repro.trees.splits import node_kernel
 
 
 @dataclass
@@ -181,9 +181,11 @@ class ParallelGenomicaLearner(GenomicaLearner):
                 lo, hi = block_range(n_items, comm.size, comm.rank)
                 if hi > lo:
                     l0, l1 = lo // n_obs, (hi - 1) // n_obs + 1
-                    margins = node_margins(data, node, parents[l0:l1])
-                    margins = margins[lo - l0 * n_obs : hi - l0 * n_obs]
-                    local_scores, _beta, local_acc = scorer.score_grid_best(margins)
+                    kernel = node_kernel(data, node, parents[l0:l1], scorer.beta_grid)
+                    items = np.arange(lo - l0 * n_obs, hi - l0 * n_obs)
+                    local_scores, _beta, local_acc = scorer.score_grid_best_kernel(
+                        kernel, item_indices=items
+                    )
                     work.add(float(scorer.beta_grid.size * n_obs * (hi - lo)))
                 else:
                     local_scores = np.zeros(0)

@@ -1,0 +1,76 @@
+"""Background checkpoint writer: serialize-and-rename off the hot path.
+
+Workers checkpoint every completed unit (``module_<id>.json``,
+``ganesh_<g>.npz``) so interrupted runs resume cheaply — but a synchronous
+write stalls the worker for the full serialize+fsync latency before it can
+pull the next task, and large modules make that stall material.  This
+writer moves the filesystem work to a per-process background thread:
+
+* :meth:`AsyncCheckpointWriter.submit` enqueues a zero-argument write
+  closure and returns immediately — the closure owns private copies of its
+  payload, so the worker is free to mutate or drop its buffers;
+* writes execute in submission order on one daemon thread, each preserving
+  the tmp-file-then-atomic-rename protocol, so a kill at any instant still
+  never leaves a torn checkpoint — only a missing one, which resume
+  recomputes;
+* :meth:`AsyncCheckpointWriter.flush` blocks until everything enqueued so
+  far is durably renamed (the executor drains every worker's writer before
+  tearing down the pool);
+* a write failure is captured and re-raised on the next ``submit``/
+  ``flush``/``close`` rather than dying silently on the writer thread.
+"""
+
+from __future__ import annotations
+
+import queue
+import threading
+
+
+class AsyncCheckpointWriter:
+    """One background thread executing write closures in FIFO order."""
+
+    def __init__(self, name: str = "checkpoint-writer") -> None:
+        self._queue: queue.Queue = queue.Queue()
+        self._error: BaseException | None = None
+        self._closed = False
+        self._thread = threading.Thread(target=self._run, name=name, daemon=True)
+        self._thread.start()
+
+    def _run(self) -> None:
+        while True:
+            fn = self._queue.get()
+            try:
+                if fn is None:
+                    return
+                try:
+                    fn()
+                except BaseException as exc:  # surfaced on the caller's side
+                    self._error = exc
+            finally:
+                self._queue.task_done()
+
+    def _raise_pending(self) -> None:
+        if self._error is not None:
+            error, self._error = self._error, None
+            raise error
+
+    def submit(self, fn) -> None:
+        """Enqueue a write closure; raises any error a prior write left."""
+        if self._closed:
+            raise RuntimeError("writer is closed")
+        self._raise_pending()
+        self._queue.put(fn)
+
+    def flush(self) -> None:
+        """Block until every submitted write has completed."""
+        self._queue.join()
+        self._raise_pending()
+
+    def close(self, timeout: float | None = 10.0) -> None:
+        """Drain the queue and stop the thread (idempotent)."""
+        if self._closed:
+            return
+        self._closed = True
+        self._queue.put(None)
+        self._thread.join(timeout=timeout)
+        self._raise_pending()

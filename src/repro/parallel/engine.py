@@ -44,7 +44,7 @@ from repro.scoring.suffstats import SuffStats
 from repro.datatypes import RegressionTree, TreeNode
 from repro.trees.hierarchy import leaf_order
 from repro.trees.parents import accumulate_parent_scores
-from repro.trees.splits import NodeSplitScores, node_margins, select_node_splits
+from repro.trees.splits import NodeSplitScores, node_kernel, select_node_splits
 
 
 @dataclass
@@ -419,16 +419,18 @@ class ParallelLearner:
                 )
             istream = module_streams[module_id]
             n_obs = int(node.observations.size)
-            # Rows [a - gbase, b - gbase) of this node's margin matrix.
+            # Rows [a - gbase, b - gbase) of this node's candidate list.
             row0, row1 = a - gbase, b - gbase
             l0, l1 = row0 // n_obs, (row1 - 1) // n_obs + 1
-            margins = node_margins(data, node, parents[l0:l1])
-            margins = margins[row0 - l0 * n_obs : row1 - l0 * n_obs]
+            kernel = node_kernel(data, node, parents[l0:l1], scorer.beta_grid)
+            items = np.arange(row0 - l0 * n_obs, row1 - l0 * n_obs)
             # Private draws, addressed by module-local split index.
             first = module_base + row0
             uniforms = istream.stream.block(first * dpi, (row1 - row0) * dpi)
             uniforms = uniforms.reshape(row1 - row0, dpi)
-            scores, steps, _beta, accepted = scorer.score_batch(margins, uniforms)
+            scores, steps, _beta, accepted = scorer.score_batch_kernel(
+                kernel, uniforms, item_indices=items
+            )
             local_scores[a - lo : b - lo] = scores
             local_steps[a - lo : b - lo] = steps
             local_accept[a - lo : b - lo] = accepted

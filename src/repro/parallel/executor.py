@@ -61,6 +61,7 @@ from repro.datatypes import Module
 from repro.ganesh.coclustering import run_obs_only_ganesh, run_replicated_ganesh
 from repro.parallel import pool as pool_mod
 from repro.parallel import poolutil
+from repro.parallel.checkpoint_writer import AsyncCheckpointWriter
 from repro.parallel.pool import _subdivide, build_split_tasks
 from repro.parallel.trace import WorkTrace
 from repro.rng.streams import GibbsRandom, make_stream
@@ -138,7 +139,9 @@ def _attach_shared(spec) -> tuple[shared_memory.SharedMemory, np.ndarray]:
 _STATE: dict = {}
 
 
-def _executor_init(matrix_spec, parents, config, seed, checkpoint_dir, counter):
+def _executor_init(
+    matrix_spec, parents, config, seed, checkpoint_dir, counter, flush_barrier=None
+):
     """Pool initializer: attach the matrix once, install worker state.
 
     ``counter`` is a shared ``mp.Value`` bumped once per initialized worker;
@@ -146,13 +149,21 @@ def _executor_init(matrix_spec, parents, config, seed, checkpoint_dir, counter):
     (i.e. the initializer ran once, never per task), and the driver reads
     it mid-run to detect dead workers — the pool re-runs the initializer
     for every replacement it spawns.
+
+    With a checkpoint directory, each worker also starts an
+    :class:`AsyncCheckpointWriter` so checkpoint serialization never stalls
+    task execution; ``flush_barrier`` is the shared barrier the executor's
+    close-time flush rendezvous uses (see :func:`_checkpoint_flush_run`).
     """
     shm, data = _attach_shared(matrix_spec)
     pool_mod._init_worker(data, parents, config, seed)
     _STATE["shm"] = shm  # keep the mapping alive for the worker's lifetime
     _STATE["checkpoint_dir"] = checkpoint_dir
+    writer = AsyncCheckpointWriter() if checkpoint_dir is not None else None
+    _STATE["writer"] = writer
+    _STATE["flush_barrier"] = flush_barrier
     _STATE["checkpoints"] = (
-        _ModuleCheckpoints(checkpoint_dir, seed, config)
+        _ModuleCheckpoints(checkpoint_dir, seed, config, writer=writer)
         if checkpoint_dir is not None
         else None
     )
@@ -171,8 +182,32 @@ def _worker_ctx() -> dict:
         "seed": worker["seed"],
         "scorer": worker["scorer"],
         "checkpoint_dir": _STATE.get("checkpoint_dir"),
+        "checkpoint_writer": _STATE.get("writer"),
         "module_checkpoints": _STATE.get("checkpoints"),
     }
+
+
+def _checkpoint_flush_run(barrier_timeout: float):
+    """Drain this worker's checkpoint writer (close-time rendezvous).
+
+    The executor dispatches exactly ``n_workers`` of these before tearing
+    the pool down.  The barrier makes each worker take exactly one: a
+    worker that finished its flush blocks on the barrier and therefore
+    cannot steal a second flush task from a sibling, so every worker's
+    queue is drained before ``terminate`` kills the processes.  A broken
+    barrier (dead sibling) aborts the wait rather than hanging — that
+    worker's own queue is already drained, which is all it can guarantee.
+    """
+    writer = _STATE.get("writer")
+    if writer is not None:
+        writer.flush()
+    barrier = _STATE.get("flush_barrier")
+    if barrier is not None:
+        try:
+            barrier.wait(timeout=barrier_timeout)
+        except Exception:  # BrokenBarrierError: a sibling died or timed out
+            pass
+    return os.getpid()
 
 
 def _generic_run(payload):
@@ -207,7 +242,8 @@ def _ganesh_run(ctx, item):
     )
     if ctx["checkpoint_dir"] is not None:
         _GaneshCheckpoints(
-            ctx["checkpoint_dir"], ctx["seed"], config, ctx["data"].shape[0]
+            ctx["checkpoint_dir"], ctx["seed"], config, ctx["data"].shape[0],
+            writer=ctx.get("checkpoint_writer"),
         ).store(g, labels)
     return g, labels, (trace.steps if trace is not None else [])
 
@@ -503,6 +539,8 @@ class TaskPoolExecutor:
         self._init_counter = None
         self._expected_inits = 0
         self._serial_ready = False
+        self._flush_barrier = None
+        self._flush_timeout = 30.0
 
     # -- lifecycle ---------------------------------------------------------
     def __enter__(self) -> "TaskPoolExecutor":
@@ -523,6 +561,7 @@ class TaskPoolExecutor:
         shared, self._shared = self._shared, None
         try:
             if pool is not None:
+                self._drain_checkpoint_writers(pool)
                 pool.terminate()
                 pool.join()
         finally:
@@ -533,6 +572,29 @@ class TaskPoolExecutor:
                 # retain the matrix past the executor's lifetime.
                 pool_mod._clear_worker()
                 self._serial_ready = False
+
+    def _drain_checkpoint_writers(self, pool) -> None:
+        """Flush every worker's async checkpoint writer before teardown.
+
+        ``terminate`` kills workers abruptly; without this rendezvous a
+        checkpoint still sitting on a writer queue would be silently lost
+        (never torn — the atomic rename sees to that — but the resume
+        guarantee of "at most in-flight units recomputed" would quietly
+        weaken).  Exactly ``n_workers`` flush tasks are dispatched and a
+        shared barrier forces one onto each worker.  Best-effort: a pool
+        poisoned by a crashed worker must still reach ``terminate``.
+        """
+        if self.checkpoint_dir is None or self._flush_barrier is None:
+            return
+        try:
+            handle = pool.map_async(
+                _checkpoint_flush_run,
+                [self._flush_timeout] * self.n_workers,
+                chunksize=1,
+            )
+            handle.get(timeout=self._flush_timeout + 5.0)
+        except Exception:  # pragma: no cover - crashed/hung worker path
+            pass
 
     def worker_inits(self) -> int:
         """How many worker initializations ran (== workers when the matrix
@@ -551,6 +613,11 @@ class TaskPoolExecutor:
             poolutil.note_matrix_transfer()
             self.stats.pools_constructed += 1
             self.stats.matrix_transfers += 1
+            self._flush_barrier = (
+                ctx.Barrier(self.n_workers)
+                if self.checkpoint_dir is not None
+                else None
+            )
             self._pool = ctx.Pool(
                 self.n_workers,
                 initializer=_executor_init,
@@ -561,6 +628,7 @@ class TaskPoolExecutor:
                     self.seed,
                     self.checkpoint_dir,
                     self._init_counter,
+                    self._flush_barrier,
                 ),
             )
             self._expected_inits = self.n_workers
@@ -583,6 +651,7 @@ class TaskPoolExecutor:
             "seed": worker["seed"],
             "scorer": worker["scorer"],
             "checkpoint_dir": self.checkpoint_dir,
+            "checkpoint_writer": None,  # in-process stores write synchronously
             "module_checkpoints": (
                 _ModuleCheckpoints(self.checkpoint_dir, self.seed, self.config)
                 if self.checkpoint_dir is not None

@@ -32,8 +32,8 @@ from repro.core.config import LearnerConfig
 from repro.parallel import poolutil
 from repro.parallel.costmodel import block_bounds
 from repro.rng.streams import IndexedStream, make_stream
+from repro.scoring.kernel import split_kernel_from_arrays
 from repro.scoring.split_score import SplitScorer
-from repro.trees.splits import margins_from_arrays
 
 # Worker globals, installed once per worker by the pool initializer so the
 # expression matrix is shipped a single time (fork) rather than per task.
@@ -94,14 +94,18 @@ def _score_task(task: SplitTask):
     obs = task.obs
     n_obs = obs.size
     l0, l1 = task.row0 // n_obs, (task.row1 - 1) // n_obs + 1
-    margins = margins_from_arrays(data, obs, task.left_obs, parents[l0:l1])
-    margins = margins[task.row0 - l0 * n_obs : task.row1 - l0 * n_obs]
+    kernel = split_kernel_from_arrays(
+        data, obs, task.left_obs, parents[l0:l1], scorer.beta_grid
+    )
+    items = np.arange(task.row0 - l0 * n_obs, task.row1 - l0 * n_obs)
 
     dpi = scorer.draws_per_item
     first = task.module_split_base + task.row0
     uniforms = istream.stream.block(first * dpi, (task.row1 - task.row0) * dpi)
     uniforms = uniforms.reshape(task.row1 - task.row0, dpi)
-    scores, steps, _beta, accepted = scorer.score_batch(margins, uniforms)
+    scores, steps, _beta, accepted = scorer.score_batch_kernel(
+        kernel, uniforms, item_indices=items
+    )
     return task.out_offset, scores, steps, accepted
 
 

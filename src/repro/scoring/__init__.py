@@ -10,8 +10,18 @@
 * :mod:`repro.scoring.split_score` — the sigmoid split posterior explored by
   bounded discrete sampling (Section 2.2.3, step 2), whose per-split cost
   variance drives the load imbalance studied in Section 5.3.1.
+* :mod:`repro.scoring.kernel` — the lazy-margin split-scoring kernel:
+  memoized, deduplicated beta-grid scores straight from the ``(P, n_obs)``
+  parent-value slice, never materializing the dense margins matrix.
 """
 
+from repro.scoring.kernel import (
+    AllocationCapExceeded,
+    DenseScoreMemo,
+    LazySplitKernel,
+    allocation_cap,
+    split_kernel_from_arrays,
+)
 from repro.scoring.normal_gamma import NormalGammaPrior, log_marginal
 from repro.scoring.split_score import SplitScorer, SplitScoreResult
 from repro.scoring.suffstats import SuffStats
@@ -22,4 +32,9 @@ __all__ = [
     "SuffStats",
     "SplitScorer",
     "SplitScoreResult",
+    "LazySplitKernel",
+    "DenseScoreMemo",
+    "split_kernel_from_arrays",
+    "allocation_cap",
+    "AllocationCapExceeded",
 ]

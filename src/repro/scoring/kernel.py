@@ -1,0 +1,289 @@
+"""Lazy-margin split-scoring kernel with beta-score memoization.
+
+Split scoring dominates sequential run-time (Section 2.2.3: more than 90%),
+and the seed implementation pays for it twice over: every node first
+materializes a dense ``(P * n_obs, n_obs)`` margins matrix — ``O(P * n_obs^2)``
+memory — and then re-evaluates full ``O(n_obs)`` rows for beta grid points the
+Metropolis chain has already visited.  This module removes both costs while
+keeping the scores **bit-identical**:
+
+* **Lazy margins** — a split ``(X_l, v)`` at a node is fully described by the
+  ``(P, n_obs)`` parent-value slice ``values`` and the left/right sign vector,
+  because ``score(l, j, beta) = sum_o logsigmoid(beta * sign_o *
+  (values[l, j] - values[l, o]))``.  The kernel evaluates that broadcast over
+  one cached value row on demand, so the dense margins matrix is never built
+  and peak memory drops to ``O(P * n_obs)`` (plus a bounded evaluation chunk).
+* **Beta-score memoization** — a chain of at most ``max_steps`` steps over a
+  ~7-point grid proposes previously-visited betas constantly; each
+  ``(split, beta)`` score is computed once and served from a
+  ``(n_groups, n_beta)`` cache afterwards.
+* **Equal-split-value dedup** — two candidates ``(X_l, v)`` and ``(X_l, v')``
+  with ``v == v'`` (duplicate parent values at the node) have identical margin
+  rows, hence identical score tables.  Candidates are grouped by
+  ``(parent row, value)`` and the cache is keyed per *group*, so duplicates
+  are scored once.  Only the deterministic score table is shared: every split
+  still consumes its own private indexed-stream draws, which is what keeps
+  the RNG-lockstep draw accounting — and therefore every backend's output —
+  unchanged.
+
+Bit-identity holds because the kernel performs the exact same elementwise
+operations in the exact same order as the dense path (subtract, multiply by
+sign, multiply by beta, the stable log-sigmoid, a pairwise sum over one
+contiguous ``n_obs`` row, quantization); deduplicated candidates share equal
+float values, so their rows are equal by construction.
+
+The module also hosts the allocation guard used to *prove* the memory claim:
+``allocation_cap(n)`` caps the element count of any guarded temporary, the
+kernel sizes its evaluation chunks under the cap, and the dense
+``margins_from_arrays`` path calls :func:`guard_alloc` so a test can pick a
+node whose margins matrix is impossible to build while the kernel scores it.
+"""
+
+from __future__ import annotations
+
+from contextlib import contextmanager
+
+import numpy as np
+
+from repro.rng.streams import SCORE_QUANTUM
+
+#: Default bound on the element count of one evaluation temporary
+#: (``chunk_rows * n_obs`` float64 values, ~2 MiB).
+DEFAULT_CHUNK_ELEMENTS = 1 << 18
+
+_CAP: int | None = None
+
+
+class AllocationCapExceeded(MemoryError):
+    """A guarded temporary would exceed the active :func:`allocation_cap`."""
+
+
+@contextmanager
+def allocation_cap(max_elements: int):
+    """Cap guarded temporaries at ``max_elements`` float64 elements.
+
+    Used by tests to verify the kernel's O(P * n_obs) memory contract: under
+    a cap smaller than ``P * n_obs * n_obs`` the dense margins path raises
+    :class:`AllocationCapExceeded` while the lazy kernel, which chunks its
+    evaluations under the cap, scores the same node successfully.
+    """
+    global _CAP
+    prev = _CAP
+    _CAP = int(max_elements)
+    try:
+        yield
+    finally:
+        _CAP = prev
+
+
+def guard_alloc(n_elements: int, what: str = "temporary") -> int:
+    """Check one guarded allocation against the active cap (if any)."""
+    if _CAP is not None and n_elements > _CAP:
+        raise AllocationCapExceeded(
+            f"{what} needs {n_elements} float64 elements, "
+            f"allocation cap is {_CAP}"
+        )
+    return int(n_elements)
+
+
+def row_scores(z: np.ndarray) -> np.ndarray:
+    """Quantized ``sum_o logsigmoid(z[:, o])`` for a batch of margin rows.
+
+    The per-element branch values equal the dense path's
+    ``where(z > 0, -log1p(exp(-|z|)), z - log1p(exp(-|z|)))`` exactly — the
+    shared ``log1p(exp(-|z|))`` term is simply computed once instead of once
+    per branch — and the row sum is ``np.sum`` over a contiguous float64 row
+    of the same length, so results are bit-identical to the seed kernel.
+    """
+    t = np.log1p(np.exp(-np.abs(z)))
+    out = np.where(z > 0, -t, z - t)
+    scores = out.sum(axis=1)
+    return np.round(scores / SCORE_QUANTUM) * SCORE_QUANTUM
+
+
+class DenseScoreMemo:
+    """Per-(item, beta) score memo over a materialized margins matrix.
+
+    The memoized provider behind :meth:`SplitScorer.score_batch`: scores are
+    computed from the margins rows exactly as the seed did, but each
+    ``(item, beta)`` pair is evaluated at most once per batch.  ``hits``
+    counts lookups served from the cache, ``evaluations`` the rows actually
+    computed — the observable contract of the memoization tests.
+    """
+
+    def __init__(self, margins: np.ndarray, beta_grid: np.ndarray) -> None:
+        self.margins = np.asarray(margins, dtype=np.float64)
+        self.beta_grid = np.asarray(beta_grid, dtype=np.float64)
+        self.n_items, self.n_obs = self.margins.shape
+        self._n_beta = self.beta_grid.size
+        guard_alloc(self.n_items * self._n_beta, "dense beta-score cache")
+        self._cache = np.full(self.n_items * self._n_beta, np.nan)
+        self.hits = 0
+        self.evaluations = 0
+
+    def scores(self, rows: np.ndarray, beta_idx: np.ndarray) -> np.ndarray:
+        flat = np.asarray(rows, dtype=np.int64) * self._n_beta + np.asarray(
+            beta_idx, dtype=np.int64
+        )
+        cached = self._cache[flat]
+        missing = np.isnan(cached)
+        self.hits += int(flat.size - missing.sum())
+        if missing.any():
+            keys = np.unique(flat[missing])
+            self._evaluate(keys)
+            cached = self._cache[flat]
+        return cached
+
+    def _evaluate(self, keys: np.ndarray) -> None:
+        beta = keys % self._n_beta
+        items = keys // self._n_beta
+        order = np.argsort(beta, kind="stable")
+        beta, items = beta[order], items[order]
+        bounds = np.flatnonzero(np.diff(beta)) + 1
+        for chunk_items, chunk_beta in zip(
+            np.split(items, bounds), np.split(beta, bounds)
+        ):
+            z = self.margins[chunk_items] * self.beta_grid[chunk_beta[0]]
+            self._cache[chunk_items * self._n_beta + chunk_beta[0]] = row_scores(z)
+        self.evaluations += int(keys.size)
+
+
+class LazySplitKernel:
+    """Deduplicated, memoized split scores from a ``(P, n_obs)`` value slice.
+
+    Construction enumerates the node's candidate splits in the canonical
+    parent-major, observation-minor order and groups candidates that share a
+    ``(parent row, split value)`` pair; ``item_groups[l * n_obs + j]`` maps
+    candidate ``(parents[l], data[parents[l], obs[j]])`` to its group.  The
+    score cache is keyed per ``(group, beta index)``, evaluations run in
+    chunks bounded by ``max_chunk_elements`` (and by any active
+    :func:`allocation_cap`), and ``peak_chunk_elements`` records the largest
+    temporary actually allocated.
+    """
+
+    def __init__(
+        self,
+        values: np.ndarray,
+        sign: np.ndarray,
+        beta_grid,
+        *,
+        max_chunk_elements: int | None = None,
+    ) -> None:
+        self.values = np.ascontiguousarray(values, dtype=np.float64)
+        if self.values.ndim != 2:
+            raise ValueError("values must have shape (P, n_obs)")
+        self.sign = np.ascontiguousarray(sign, dtype=np.float64)
+        self.beta_grid = np.asarray(beta_grid, dtype=np.float64)
+        self.n_parents, self.n_obs = self.values.shape
+        if self.sign.shape != (self.n_obs,):
+            raise ValueError("sign must have one entry per observation")
+        self.n_items = self.n_parents * self.n_obs
+        self._n_beta = self.beta_grid.size
+        self.max_chunk_elements = int(max_chunk_elements or DEFAULT_CHUNK_ELEMENTS)
+        guard_alloc(self.n_items, "parent-value slice")
+
+        # Group candidates by (parent row, value): duplicates share a row of
+        # the score table.  np.unique sorts, so group values ascend per row.
+        item_groups = np.empty(self.n_items, dtype=np.int64)
+        row_parts: list[np.ndarray] = []
+        value_parts: list[np.ndarray] = []
+        offset = 0
+        for l in range(self.n_parents):
+            uvals, inverse = np.unique(self.values[l], return_inverse=True)
+            item_groups[l * self.n_obs : (l + 1) * self.n_obs] = offset + inverse
+            row_parts.append(np.full(uvals.size, l, dtype=np.int64))
+            value_parts.append(uvals)
+            offset += uvals.size
+        self.item_groups = item_groups
+        self.group_row = (
+            np.concatenate(row_parts) if row_parts else np.zeros(0, dtype=np.int64)
+        )
+        self.group_value = (
+            np.concatenate(value_parts) if value_parts else np.zeros(0)
+        )
+        self.n_groups = int(offset)
+        guard_alloc(self.n_groups * self._n_beta, "beta-score cache")
+        self._cache = np.full(self.n_groups * self._n_beta, np.nan)
+        self.hits = 0
+        self.evaluations = 0
+        self.peak_chunk_elements = 0
+
+    @property
+    def n_beta(self) -> int:
+        return self._n_beta
+
+    def scores(self, groups: np.ndarray, beta_idx: np.ndarray) -> np.ndarray:
+        """Quantized scores of ``groups`` at per-entry beta grid indices.
+
+        Served from the memo cache where present; uncached pairs are
+        evaluated lazily (grouped by beta, chunked under the allocation
+        bound) and cached for the rest of the batch.
+        """
+        flat = np.asarray(groups, dtype=np.int64) * self._n_beta + np.asarray(
+            beta_idx, dtype=np.int64
+        )
+        cached = self._cache[flat]
+        missing = np.isnan(cached)
+        self.hits += int(flat.size - missing.sum())
+        if missing.any():
+            keys = np.unique(flat[missing])
+            self._evaluate(keys)
+            cached = self._cache[flat]
+        return cached
+
+    def _chunk_rows(self) -> int:
+        limit = self.max_chunk_elements
+        if _CAP is not None:
+            limit = min(limit, _CAP)
+        return max(1, limit // max(1, self.n_obs))
+
+    def _evaluate(self, keys: np.ndarray) -> None:
+        beta = keys % self._n_beta
+        groups = keys // self._n_beta
+        order = np.argsort(beta, kind="stable")
+        beta, groups = beta[order], groups[order]
+        bounds = np.flatnonzero(np.diff(beta)) + 1
+        chunk_rows = self._chunk_rows()
+        for beta_groups, beta_vals in zip(
+            np.split(groups, bounds), np.split(beta, bounds)
+        ):
+            grid_beta = self.beta_grid[beta_vals[0]]
+            for start in range(0, beta_groups.size, chunk_rows):
+                chunk = beta_groups[start : start + chunk_rows]
+                n_elements = guard_alloc(
+                    chunk.size * self.n_obs, "lazy-margin evaluation chunk"
+                )
+                self.peak_chunk_elements = max(self.peak_chunk_elements, n_elements)
+                # The dense path's exact operation order: subtract values,
+                # multiply by sign, multiply by beta, stable log-sigmoid row
+                # sum.  Each step is elementwise, so laziness cannot change
+                # a single bit of the result.
+                diff = self.group_value[chunk][:, None] - self.values[self.group_row[chunk]]
+                margin = self.sign * diff
+                z = margin * grid_beta
+                self._cache[chunk * self._n_beta + beta_vals[0]] = row_scores(z)
+        self.evaluations += int(keys.size)
+
+
+def split_kernel_from_arrays(
+    data: np.ndarray,
+    obs: np.ndarray,
+    left_obs: np.ndarray,
+    parents: np.ndarray,
+    beta_grid,
+    *,
+    max_chunk_elements: int | None = None,
+) -> LazySplitKernel:
+    """A node's lazy kernel from raw arrays (the worker-friendly twin of
+    :func:`repro.trees.splits.margins_from_arrays`).
+
+    ``obs`` are the node's observations, ``left_obs`` its left child's; the
+    candidate enumeration order (parent-major, observation-minor) matches the
+    dense margins layout row for row.
+    """
+    obs = np.asarray(obs, dtype=np.int64)
+    sign = np.where(np.isin(obs, left_obs), 1.0, -1.0)
+    values = data[np.asarray(parents, dtype=np.int64)][:, obs]
+    return LazySplitKernel(
+        values, sign, beta_grid, max_chunk_elements=max_chunk_elements
+    )

@@ -34,6 +34,7 @@ from dataclasses import dataclass
 import numpy as np
 
 from repro.rng.streams import SCORE_QUANTUM
+from repro.scoring.kernel import DenseScoreMemo, LazySplitKernel
 
 #: Default discrete grid of sigmoid steepness values.
 DEFAULT_BETA_GRID = (0.25, 0.5, 1.0, 2.0, 4.0, 8.0, 16.0)
@@ -96,16 +97,62 @@ class SplitScorer:
         ``(n_items, 1 + 2 * max_steps)`` holding each item's private draws.
         Returns ``(log_scores, steps, beta_indices, accepted)`` arrays whose
         entries are identical to item-by-item :meth:`score_one` calls.
+
+        Each ``(item, beta)`` score is evaluated at most once per batch (the
+        chain revisits grid points constantly); the memo used is left on
+        ``self.last_memo`` so tests and benchmarks can inspect its
+        ``hits`` / ``evaluations`` counters.
         """
         margins = np.asarray(margins, dtype=np.float64)
         n_items, n_obs = margins.shape
+        memo = DenseScoreMemo(margins, self.beta_grid)
+        self.last_memo = memo
+        return self._run_chain(n_items, n_obs, uniforms, memo.scores)
+
+    def score_batch_kernel(
+        self,
+        kernel: LazySplitKernel,
+        uniforms: np.ndarray,
+        item_indices: np.ndarray | None = None,
+    ) -> tuple[np.ndarray, np.ndarray, np.ndarray, np.ndarray]:
+        """:meth:`score_batch` on a :class:`LazySplitKernel` — no margins
+        matrix is ever materialized, and equal-value duplicate candidates
+        share one cached score table.
+
+        ``item_indices`` selects a sub-range of the kernel's candidate
+        enumeration (the partitioned backends score ``[row0, row1)`` slices
+        of a node); row ``i`` of ``uniforms`` holds the private draws of
+        candidate ``item_indices[i]``.  Results are bit-identical to the
+        dense path because the kernel replays its exact float operations.
+        """
+        self._check_kernel(kernel)
+        if item_indices is None:
+            groups = kernel.item_groups
+        else:
+            groups = kernel.item_groups[np.asarray(item_indices, dtype=np.int64)]
+        self.last_memo = kernel
+
+        def provider(rows: np.ndarray, beta_idx: np.ndarray) -> np.ndarray:
+            return kernel.scores(groups[rows], beta_idx)
+
+        return self._run_chain(groups.size, kernel.n_obs, uniforms, provider)
+
+    def _run_chain(self, n_items, n_obs, uniforms, provider):
+        """Shared Metropolis-chain driver over a score ``provider``.
+
+        ``provider(rows, beta_idx)`` returns the quantized log-scores of the
+        given batch rows at per-row beta grid indices; the chain logic is
+        the seed implementation verbatim, so any provider that matches the
+        dense scores bit-for-bit yields bit-identical results.
+        """
         grid = self.beta_grid
         n_beta = grid.size
+        uniforms = np.asarray(uniforms, dtype=np.float64)
 
         cur_idx = np.minimum(
             (uniforms[:, 0] * n_beta).astype(np.int64), n_beta - 1
         )
-        cur_score = self._scores_at(margins, cur_idx)
+        cur_score = provider(np.arange(n_items, dtype=np.int64), cur_idx)
         best_score = cur_score.copy()
         best_idx = cur_idx.copy()
         steps = np.zeros(n_items, dtype=np.int64)
@@ -119,7 +166,7 @@ class SplitScorer:
             u_prop = uniforms[idx_a, 1 + 2 * step]
             u_acc = uniforms[idx_a, 2 + 2 * step]
             prop = _neighbor(cur_idx[idx_a], u_prop, n_beta)
-            prop_score = self._scores_at(margins[idx_a], prop)
+            prop_score = provider(idx_a, prop)
             accept = np.log(np.maximum(u_acc, 1e-300)) < (
                 prop_score - cur_score[idx_a]
             )
@@ -142,6 +189,10 @@ class SplitScorer:
         baseline = _quantize(n_obs * _LOG_HALF)
         accepted = best_score > baseline + SCORE_QUANTUM / 2
         return best_score, steps, best_idx, accepted
+
+    def _check_kernel(self, kernel: LazySplitKernel) -> None:
+        if not np.array_equal(kernel.beta_grid, self.beta_grid):
+            raise ValueError("kernel was built for a different beta grid")
 
     def _scores_at(self, margins: np.ndarray, beta_idx: np.ndarray) -> np.ndarray:
         """Row-wise sigmoid log-likelihood at per-row beta grid indices."""
@@ -172,6 +223,35 @@ class SplitScorer:
             best[improved] = scores[improved]
             best_idx[improved] = idx
         baseline = _quantize(n_obs * _LOG_HALF)
+        accepted = best > baseline + SCORE_QUANTUM / 2
+        return best, best_idx, accepted
+
+    def score_grid_best_kernel(
+        self,
+        kernel: LazySplitKernel,
+        item_indices: np.ndarray | None = None,
+    ) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+        """:meth:`score_grid_best` on a :class:`LazySplitKernel`.
+
+        The exhaustive variant benefits most from the kernel: every grid
+        point is evaluated for every *group* rather than every candidate,
+        so duplicate split values cost nothing extra and no margins matrix
+        is built.
+        """
+        self._check_kernel(kernel)
+        if item_indices is None:
+            groups = kernel.item_groups
+        else:
+            groups = kernel.item_groups[np.asarray(item_indices, dtype=np.int64)]
+        n_items = groups.size
+        best = np.full(n_items, -np.inf)
+        best_idx = np.zeros(n_items, dtype=np.int64)
+        for idx in range(self.beta_grid.size):
+            scores = kernel.scores(groups, np.full(n_items, idx, dtype=np.int64))
+            improved = scores > best
+            best[improved] = scores[improved]
+            best_idx[improved] = idx
+        baseline = _quantize(kernel.n_obs * _LOG_HALF)
         accepted = best > baseline + SCORE_QUANTUM / 2
         return best, best_idx, accepted
 

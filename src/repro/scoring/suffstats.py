@@ -53,14 +53,71 @@ class StatsArrays:
 
     Stored as three aligned ``float64`` arrays so a whole bank of blocks can
     be scored with one vectorized :func:`log_marginal` call.
+
+    The arrays live in capacity-doubling buffers with a live length, so the
+    :meth:`drop`/:meth:`append` pair a Gibbs merge move performs is a shift
+    plus a slot write instead of the full ``np.delete``/``np.append``
+    reallocation of all three arrays on every move.  ``count``/``total``/
+    ``sumsq`` are live-length *views* of the buffers: in-place mutation
+    (``stats.count[i] += x``, ``stats.count -= other``) writes straight
+    through, and assigning a fresh array (as :meth:`from_arrays` and
+    :meth:`grouped` do) adopts it as the new buffer.
     """
 
-    __slots__ = ("count", "total", "sumsq")
+    __slots__ = ("_count", "_total", "_sumsq", "_size")
 
     def __init__(self, size: int) -> None:
-        self.count = np.zeros(size, dtype=np.float64)
-        self.total = np.zeros(size, dtype=np.float64)
-        self.sumsq = np.zeros(size, dtype=np.float64)
+        self._size = int(size)
+        self._count = np.zeros(size, dtype=np.float64)
+        self._total = np.zeros(size, dtype=np.float64)
+        self._sumsq = np.zeros(size, dtype=np.float64)
+
+    def _live(self, buf: np.ndarray) -> np.ndarray:
+        return buf[: self._size]
+
+    def _assign(self, attr: str, value) -> None:
+        buf = getattr(self, attr)
+        if (
+            isinstance(value, np.ndarray)
+            and (value is buf or value.base is buf)
+            and value.shape == (self._size,)
+        ):
+            # Our own live view handed back after an in-place update
+            # (``stats.count -= other`` calls the setter with the mutated
+            # view): the buffer already holds the result.
+            return
+        arr = np.ascontiguousarray(value, dtype=np.float64)
+        setattr(self, attr, arr)
+        self._size = arr.shape[0]
+
+    @property
+    def count(self) -> np.ndarray:
+        return self._live(self._count)
+
+    @count.setter
+    def count(self, value) -> None:
+        self._assign("_count", value)
+
+    @property
+    def total(self) -> np.ndarray:
+        return self._live(self._total)
+
+    @total.setter
+    def total(self, value) -> None:
+        self._assign("_total", value)
+
+    @property
+    def sumsq(self) -> np.ndarray:
+        return self._live(self._sumsq)
+
+    @sumsq.setter
+    def sumsq(self, value) -> None:
+        self._assign("_sumsq", value)
+
+    @property
+    def capacity(self) -> int:
+        """Allocated slots (>= live length; grows by doubling)."""
+        return int(self._count.shape[0])
 
     @classmethod
     def from_arrays(
@@ -102,7 +159,7 @@ class StatsArrays:
         return out
 
     def __len__(self) -> int:
-        return self.count.shape[0]
+        return self._size
 
     def copy(self) -> "StatsArrays":
         return StatsArrays.from_arrays(
@@ -135,14 +192,35 @@ class StatsArrays:
         )
 
     def drop(self, index: int) -> None:
-        self.count = np.delete(self.count, index)
-        self.total = np.delete(self.total, index)
-        self.sumsq = np.delete(self.sumsq, index)
+        """Remove one block: an in-buffer shift, no reallocation."""
+        s = self._size
+        if index < 0:
+            index += s
+        if not 0 <= index < s:
+            raise IndexError(f"index {index} out of bounds for {s} blocks")
+        self._count[index : s - 1] = self._count[index + 1 : s]
+        self._total[index : s - 1] = self._total[index + 1 : s]
+        self._sumsq[index : s - 1] = self._sumsq[index + 1 : s]
+        self._size = s - 1
+
+    def _ensure_capacity(self, needed: int) -> None:
+        for attr in ("_count", "_total", "_sumsq"):
+            buf = getattr(self, attr)
+            if buf.shape[0] < needed:
+                new = np.zeros(
+                    max(4, needed, 2 * buf.shape[0]), dtype=np.float64
+                )
+                new[: self._size] = buf[: self._size]
+                setattr(self, attr, new)
 
     def append(self, stats: SuffStats) -> None:
-        self.count = np.append(self.count, stats.count)
-        self.total = np.append(self.total, stats.total)
-        self.sumsq = np.append(self.sumsq, stats.sumsq)
+        """Add one block: a slot write, amortized O(1) via doubling."""
+        self._ensure_capacity(self._size + 1)
+        s = self._size
+        self._count[s] = stats.count
+        self._total[s] = stats.total
+        self._sumsq[s] = stats.sumsq
+        self._size = s + 1
 
     def log_marginals(self, prior: NormalGammaPrior = DEFAULT_PRIOR) -> np.ndarray:
         return np.asarray(log_marginal(self.count, self.total, self.sumsq, prior))

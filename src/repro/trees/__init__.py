@@ -11,11 +11,17 @@
 
 from repro.trees.hierarchy import build_tree_structure
 from repro.trees.parents import accumulate_parent_scores
-from repro.trees.splits import NodeSplitScores, score_node_splits, select_node_splits
+from repro.trees.splits import (
+    NodeSplitScores,
+    node_kernel,
+    score_node_splits,
+    select_node_splits,
+)
 
 __all__ = [
     "build_tree_structure",
     "NodeSplitScores",
+    "node_kernel",
     "score_node_splits",
     "select_node_splits",
     "accumulate_parent_scores",

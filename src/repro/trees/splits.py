@@ -19,6 +19,11 @@ import numpy as np
 
 from repro.datatypes import Split, TreeNode
 from repro.rng.streams import GibbsRandom, IndexedStream
+from repro.scoring.kernel import (
+    LazySplitKernel,
+    guard_alloc,
+    split_kernel_from_arrays,
+)
 from repro.scoring.split_score import SplitScorer
 
 
@@ -74,9 +79,10 @@ def margins_from_arrays(
     obs = np.asarray(obs, dtype=np.int64)
     sign = np.where(np.isin(obs, left_obs), 1.0, -1.0)
     values = data[np.asarray(parents, dtype=np.int64)][:, obs]  # (P, n_obs)
+    n_parents, n_obs = values.shape
+    guard_alloc(n_parents * n_obs * n_obs, "dense margins matrix")
     # margins[l, j, o] = sign[o] * (values[l, j] - values[l, o])
     margins = sign[None, None, :] * (values[:, :, None] - values[:, None, :])
-    n_parents, n_obs = values.shape
     return margins.reshape(n_parents * n_obs, n_obs)
 
 
@@ -84,6 +90,24 @@ def node_margins(data: np.ndarray, node: TreeNode, parents: np.ndarray) -> np.nd
     """Sigmoid margins of all candidate splits at ``node``."""
     assert node.left is not None
     return margins_from_arrays(data, node.observations, node.left.observations, parents)
+
+
+def node_kernel(
+    data: np.ndarray,
+    node: TreeNode,
+    parents: np.ndarray,
+    beta_grid,
+) -> LazySplitKernel:
+    """Lazy split-scoring kernel over all candidate splits at ``node``.
+
+    The O(P * n_obs) replacement for :func:`node_margins`: the same
+    candidate enumeration, but margins are materialized row-chunk by
+    row-chunk during scoring instead of all at once.
+    """
+    assert node.left is not None
+    return split_kernel_from_arrays(
+        data, node.observations, node.left.observations, parents, beta_grid
+    )
 
 
 def score_node_splits(
@@ -102,13 +126,15 @@ def score_node_splits(
     occupy the contiguous range ``[base_index, base_index + P * n_obs)`` so
     their private random draws are fetched with one O(1)-seek block read.
     """
-    margins = node_margins(data, node, parents)
-    n_items = margins.shape[0]
+    kernel = node_kernel(data, node, parents, scorer.beta_grid)
+    n_items = kernel.n_items
     dpi = istream.draws_per_item
     uniforms = istream.stream.block(base_index * dpi, n_items * dpi).reshape(
         n_items, dpi
     )
-    log_scores, steps, _beta_idx, accepted = scorer.score_batch(margins, uniforms)
+    log_scores, steps, _beta_idx, accepted = scorer.score_batch_kernel(
+        kernel, uniforms
+    )
     return NodeSplitScores(
         module_id=module_id,
         tree_index=tree_index,

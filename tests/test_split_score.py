@@ -144,6 +144,58 @@ class TestChainBehaviour:
         np.testing.assert_array_equal(full[3], np.concatenate([first[3], second[3]]))
 
 
+class TestMemoizedBatchVsScalar:
+    """Satellite contract of the lazy-margin PR: the memoized batch path
+    must stay bit-identical to the scalar reference across the chain's
+    early-stopping corners, and the memo must observably do its job."""
+
+    @given(
+        seed=st.integers(0, 500),
+        n_obs=st.integers(2, 10),
+        max_steps=st.sampled_from([1, 2, 5, 10]),
+        stop_repeats=st.sampled_from([1, 2, 3, 5]),
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_bit_identical_across_corners(self, seed, n_obs, max_steps, stop_repeats):
+        rng = np.random.default_rng(seed)
+        scorer = SplitScorer(max_steps=max_steps, stop_repeats=stop_repeats)
+        n_items = 6
+        margins = rng.normal(0, 1.5, size=(n_items, n_obs))
+        uniforms = _uniform_block(n_items, scorer.draws_per_item, seed)
+        scores, steps, betas, accepted = scorer.score_batch(margins, uniforms)
+        for i in range(n_items):
+            one = scorer.score_one(list(margins[i]), list(uniforms[i]))
+            assert one.log_score == scores[i]
+            assert one.steps == steps[i]
+            assert one.beta_index == betas[i]
+            assert one.accepted == accepted[i]
+
+    def test_memoization_hits_counted(self):
+        """A multi-step chain over a 7-point grid must revisit betas: the
+        batch memo serves those lookups from cache and counts them."""
+        scorer = SplitScorer(max_steps=10, stop_repeats=3)
+        margins = np.random.default_rng(11).normal(size=(40, 8))
+        uniforms = _uniform_block(40, scorer.draws_per_item, 11)
+        scores, steps, _b, _a = scorer.score_batch(margins, uniforms)
+        memo = scorer.last_memo
+        # Every lookup is either a fresh evaluation or a cache hit...
+        lookups = 40 + int(steps.sum())  # initial scores + one per step
+        assert memo.hits + memo.evaluations == lookups
+        # ...the cache is bounded by the (item, beta) table...
+        assert memo.evaluations <= 40 * scorer.beta_grid.size
+        # ...and chains long enough to bounce between grid points hit it.
+        assert memo.hits > 0
+
+    def test_memo_bounds_evaluations_per_item(self):
+        """No (item, beta) pair is ever evaluated twice in one batch."""
+        scorer = SplitScorer(max_steps=25, stop_repeats=2)
+        margins = np.random.default_rng(12).normal(size=(30, 6))
+        uniforms = _uniform_block(30, scorer.draws_per_item, 12)
+        scorer.score_batch(margins, uniforms)
+        memo = scorer.last_memo
+        assert memo.evaluations <= 30 * scorer.beta_grid.size
+
+
 class TestGrid:
     def test_default_grid_sorted_positive(self):
         grid = np.asarray(DEFAULT_BETA_GRID)
