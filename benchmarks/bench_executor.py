@@ -6,7 +6,9 @@ call.  This benchmark drives the whole of Task 3 both ways on a synthetic
 workload of 32 small modules and measures the wall-clock win of the
 persistent shared-memory executor, whose pool and matrix transfer are paid
 once per task.  Outputs are verified bit-identical to the sequential
-learner in every configuration, and the speedup record is persisted as
+learner in every configuration — including a flat-vs-probed machine
+topology sweep (``ParallelConfig(topology=...)``), whose per-NUMA-domain
+worker times land in the record — and the speedup record is persisted as
 ``benchmarks/results/BENCH_executor.json``.
 
 The workload is deliberately module-rich and per-module-light: that is the
@@ -23,11 +25,12 @@ import numpy as np
 
 from conftest import BENCH_SEED
 from repro.bench import render_table, save_results
-from repro.core.config import LearnerConfig
+from repro.core.config import LearnerConfig, ParallelConfig
 from repro.core.learner import LemonTreeLearner
 from repro.data.synthetic import make_module_dataset
 from repro.datatypes import ModuleNetwork
 from repro.parallel.executor import learn_modules_percall_pool
+from repro.parallel.trace import WorkTrace
 
 N_WORKERS = 4
 N_MODULES = 32
@@ -69,7 +72,9 @@ def test_executor_speedup_over_percall_pool(capsys):
     times = {}
     for schedule in ("dynamic", "static"):
         cfg = config.with_updates(
-            n_workers=N_WORKERS, parallel_mode="module", schedule=schedule
+            parallel=ParallelConfig(
+                n_workers=N_WORKERS, mode="module", schedule=schedule
+            )
         )
         t0 = time.perf_counter()
         result = LemonTreeLearner(cfg).learn_from_modules(
@@ -77,6 +82,29 @@ def test_executor_speedup_over_percall_pool(capsys):
         )
         times[schedule] = time.perf_counter() - t0
         assert result.network == reference, f"executor ({schedule}) diverged"
+
+    # Topology placement sweep: the flat model (no pinning, fixed kernel
+    # chunk — the pre-topology behaviour) vs the probed machine topology
+    # (workers pinned per NUMA domain, first-touch pages, cache-sized
+    # kernel chunks).  Placement only moves work, so both networks must be
+    # bit-identical to the sequential reference — this assertion runs on
+    # every PR via the CI bench-smoke job.
+    topo_times: dict[str, float] = {}
+    topo_traces: dict[str, WorkTrace] = {}
+    for topology in ("flat", "auto"):
+        cfg = config.with_updates(
+            parallel=ParallelConfig(
+                n_workers=N_WORKERS, mode="module", topology=topology
+            )
+        )
+        trace = WorkTrace()
+        t0 = time.perf_counter()
+        result = LemonTreeLearner(cfg).learn_from_modules(
+            matrix, members, seed=BENCH_SEED, trace=trace
+        )
+        topo_times[topology] = time.perf_counter() - t0
+        topo_traces[topology] = trace
+        assert result.network == reference, f"topology {topology} diverged"
 
     t_executor = min(times.values())
     speedup = t_percall / t_executor
@@ -87,6 +115,10 @@ def test_executor_speedup_over_percall_pool(capsys):
          f"{t_percall / times['dynamic']:.2f}x"],
         ["executor (static)", N_WORKERS, f"{times['static']:.2f}",
          f"{t_percall / times['static']:.2f}x"],
+        ["executor (topology flat)", N_WORKERS, f"{topo_times['flat']:.2f}",
+         f"{t_percall / topo_times['flat']:.2f}x"],
+        ["executor (topology auto)", N_WORKERS, f"{topo_times['auto']:.2f}",
+         f"{t_percall / topo_times['auto']:.2f}x"],
     ]
     table = render_table(
         f"Task 3 backends on {N_MODULES} modules "
@@ -107,6 +139,12 @@ def test_executor_speedup_over_percall_pool(capsys):
             "percall_pool_s": t_percall,
             "executor_dynamic_s": times["dynamic"],
             "executor_static_s": times["static"],
+            "topology_flat_s": topo_times["flat"],
+            "topology_auto_s": topo_times["auto"],
+            "topology": topo_traces["auto"].topology,
+            "domain_times": {
+                name: trace.domain_times for name, trace in topo_traces.items()
+            },
             "speedup": speedup,
             "bit_identical": True,
         },

@@ -31,8 +31,9 @@ import numpy as np
 from conftest import BENCH_SEED
 from repro.bench import render_table, save_results
 from repro.data.synthetic import make_module_dataset
+from repro.parallel.topology import chunk_elements_for, probe_topology
 from repro.rng.streams import SCORE_QUANTUM
-from repro.scoring.kernel import split_kernel_from_arrays
+from repro.scoring.kernel import configured_chunk_elements, split_kernel_from_arrays
 from repro.scoring.split_score import (
     DEFAULT_BETA_GRID,
     SplitScorer,
@@ -238,6 +239,11 @@ def test_kernel_vs_materialized(capsys):
             "memo_evaluations": kernel.evaluations,
             "margins_bytes": margins_bytes,
             "peak_chunk_elements": kernel.peak_chunk_elements,
+            # The machine-probed chunk budget the kernel defaulted to
+            # (cache-derived via repro.parallel.topology, 2^18 when flat).
+            "max_chunk_elements": configured_chunk_elements(),
+            "topology": probe_topology().describe(),
+            "topology_chunk_elements": chunk_elements_for(probe_topology()),
             "bit_identical": True,
             "smoke": SMOKE,
         },

@@ -23,7 +23,7 @@ import numpy as np
 
 from conftest import BENCH_SEED
 from repro.bench import render_table, save_results
-from repro.core.config import LearnerConfig
+from repro.core.config import LearnerConfig, ParallelConfig
 from repro.core.learner import LemonTreeLearner
 from repro.data.synthetic import yeast_like
 
@@ -49,7 +49,9 @@ def test_task1_scaling(capsys):
     times: dict[int, float] = {}
     ensembles: dict[int, list[np.ndarray]] = {}
     for n_workers in WORKER_COUNTS:
-        learner = LemonTreeLearner(config.with_updates(n_workers=n_workers))
+        learner = LemonTreeLearner(
+            config.with_updates(parallel=ParallelConfig(n_workers=n_workers))
+        )
         t0 = time.perf_counter()
         ensembles[n_workers] = learner.sample_clusterings(matrix, seed=BENCH_SEED)
         times[n_workers] = time.perf_counter() - t0

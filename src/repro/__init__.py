@@ -9,11 +9,21 @@ calibrated communication model.
 
 Quickstart::
 
-    from repro import LearnerConfig, LemonTreeLearner, yeast_like
+    from repro import LearnerConfig, LemonTreeLearner, ParallelConfig, yeast_like
 
     dataset = yeast_like(scale=1 / 64)
-    result = LemonTreeLearner(LearnerConfig()).learn(dataset.matrix, seed=1)
+    config = LearnerConfig(
+        parallel=ParallelConfig(n_workers=4, topology="auto"),
+    )
+    result = LemonTreeLearner(config).learn(dataset.matrix, seed=1)
     print(result.network)
+
+``ParallelConfig`` gathers every execution-backend knob (workers, task
+decomposition, schedule, checkpoint directory, machine topology); it is
+embedded in both ``LearnerConfig`` and ``GenomicaConfig`` as
+``config.parallel``.  Worker placement and chunk sizing follow the probed
+machine topology (``MachineTopology``) but can never change the learned
+network — every backend is bit-identical to the sequential learner.
 
 See DESIGN.md for the system inventory and EXPERIMENTS.md for the
 reproduced tables and figures.
@@ -23,6 +33,7 @@ from repro.core import (
     LearnerConfig,
     LearnResult,
     LemonTreeLearner,
+    ParallelConfig,
     ReferenceLearner,
     network_from_json,
     network_to_json,
@@ -45,6 +56,7 @@ from repro.inference import (
 )
 from repro.parallel import (
     MachineModel,
+    MachineTopology,
     ParallelLearner,
     WorkTrace,
     project_time,
@@ -54,6 +66,7 @@ __version__ = "1.0.0"
 
 __all__ = [
     "LearnerConfig",
+    "ParallelConfig",
     "LemonTreeLearner",
     "ReferenceLearner",
     "LearnResult",
@@ -62,6 +75,7 @@ __all__ = [
     "ModuleNetwork",
     "TaskTimes",
     "MachineModel",
+    "MachineTopology",
     "ParallelLearner",
     "WorkTrace",
     "project_time",

@@ -8,12 +8,19 @@ Subcommands::
     python -m repro scale --input expr.tsv --seed 1 --procs 4 64 1024
     python -m repro compare --input expr.tsv --seed 1 --modules 6
 
-``learn`` runs the full Lemon-Tree pipeline (optionally in SPMD-parallel
-mode with ``--parallel P`` and/or with acyclicity post-processing),
-``scale`` records a work trace and prints the projected strong-scaling
-table, ``compare`` pits the Lemon-Tree pipeline against the GENOMICA-style
-two-step learner, and ``generate`` writes synthetic module-structured
-expression data.
+``learn`` runs the full Lemon-Tree pipeline (optionally with acyclicity
+post-processing), ``scale`` records a work trace and prints the projected
+strong-scaling table, ``compare`` pits the Lemon-Tree pipeline against the
+GENOMICA-style two-step learner, and ``generate`` writes synthetic
+module-structured expression data.
+
+Every learning subcommand takes the same parallel knobs: ``--workers W``
+(0 = all cores the affinity mask allows) runs the persistent shared-memory
+task-pool executor, and ``--topology {auto,flat}`` selects the machine
+model — ``auto`` probes NUMA domains and cache sizes from sysfs and pins
+workers accordingly, ``flat`` forces the single-domain fallback.  Both
+settings are pure placement: the learned network is bit-identical either
+way.  (``--parallel`` is retained as a hidden alias of ``--workers``.)
 """
 
 from __future__ import annotations
@@ -23,7 +30,7 @@ import sys
 import time
 from pathlib import Path
 
-from repro.core.config import LearnerConfig
+from repro.core.config import LearnerConfig, ParallelConfig
 from repro.core.learner import LemonTreeLearner
 from repro.core.output import network_to_json, network_to_xml
 from repro.data.io import read_expression_tsv, write_expression_tsv
@@ -55,9 +62,10 @@ def build_parser() -> argparse.ArgumentParser:
     learn.add_argument("--splits", type=int, default=2, help="splits per node (J)")
     learn.add_argument("--sampling-steps", type=int, default=10,
                        help="max discrete sampling steps per split (S)")
-    learn.add_argument("--parallel", type=int, default=0, metavar="P",
-                       help="run the SPMD parallel learner on P thread ranks")
     _add_executor_args(learn)
+    # Historical spelling of --workers on this subcommand; hidden alias.
+    learn.add_argument("--parallel", type=int, dest="workers", metavar="P",
+                       default=argparse.SUPPRESS, help=argparse.SUPPRESS)
     learn.add_argument("--checkpoint-dir", default=None,
                        help="resume/continue directory: task 1 writes "
                             "ganesh_<g>.npz, task 3 module_<id>.json")
@@ -85,6 +93,7 @@ def build_parser() -> argparse.ArgumentParser:
     compare.add_argument("--workers", type=int, default=1, metavar="W",
                         help="worker processes for both learners (0 = all "
                              "cores; >1 runs the persistent pool executor)")
+    _add_topology_arg(compare)
 
     # Task-by-task workflow (how Lemon-Tree itself is driven: separate
     # invocations exchanging intermediate files, so the G GaneSH runs can
@@ -98,6 +107,7 @@ def build_parser() -> argparse.ArgumentParser:
     ganesh.add_argument("--workers", type=int, default=1, metavar="W",
                         help="worker processes for the G runs (0 = all cores; "
                              ">1 runs the persistent pool executor)")
+    _add_topology_arg(ganesh)
     ganesh.add_argument("--checkpoint-dir", default=None,
                         help="resume/continue directory for per-run "
                              "ganesh_<g>.npz checkpoints")
@@ -142,6 +152,26 @@ def _add_executor_args(parser: argparse.ArgumentParser) -> None:
                         default="dynamic",
                         help="executor dispatch: static blocks or dynamic "
                              "largest-first pulling")
+    _add_topology_arg(parser)
+
+
+def _add_topology_arg(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument("--topology", choices=["auto", "flat"], default="auto",
+                        help="machine model: probe NUMA domains and cache "
+                             "sizes from sysfs and pin workers (auto), or "
+                             "force the flat single-domain fallback (flat); "
+                             "placement only — results are bit-identical")
+
+
+def _parallel_config(args: argparse.Namespace) -> ParallelConfig:
+    """The unified executor knobs shared by every learning subcommand."""
+    return ParallelConfig(
+        n_workers=getattr(args, "workers", 1),
+        mode=getattr(args, "parallel_mode", "auto"),
+        schedule=getattr(args, "schedule", "dynamic"),
+        checkpoint_dir=getattr(args, "checkpoint_dir", None),
+        topology=getattr(args, "topology", "auto"),
+    )
 
 
 def _add_data_args(parser: argparse.ArgumentParser) -> None:
@@ -170,9 +200,7 @@ def _learner_config(args: argparse.Namespace) -> LearnerConfig:
         init_var_clusters=init,
         n_splits_per_node=getattr(args, "splits", 2),
         max_sampling_steps=getattr(args, "sampling_steps", 10),
-        n_workers=getattr(args, "workers", 1),
-        parallel_mode=getattr(args, "parallel_mode", "auto"),
-        schedule=getattr(args, "schedule", "dynamic"),
+        parallel=_parallel_config(args),
     )
 
 
@@ -190,17 +218,9 @@ def cmd_learn(args: argparse.Namespace) -> int:
     matrix = _load_matrix(args)
     config = _learner_config(args)
     t0 = time.perf_counter()
-    if args.parallel and args.parallel > 1:
-        from repro.parallel.engine import ParallelLearner
-
-        network = ParallelLearner(config).learn(matrix, seed=args.seed, p=args.parallel).network
-        mode = f"parallel p={args.parallel}"
-    else:
-        network = LemonTreeLearner(config).learn(
-            matrix, seed=args.seed, checkpoint_dir=args.checkpoint_dir
-        ).network
-        workers = config.resolve_n_workers()
-        mode = f"executor w={workers}" if workers > 1 else "sequential"
+    network = LemonTreeLearner(config).learn(matrix, seed=args.seed).network
+    workers = config.resolve_n_workers()
+    mode = f"executor w={workers}" if workers > 1 else "sequential"
     elapsed = time.perf_counter() - t0
 
     removed = []
@@ -255,14 +275,15 @@ def cmd_compare(args: argparse.Namespace) -> int:
     from repro.genomica import GenomicaConfig, GenomicaLearner
 
     matrix = _load_matrix(args)
+    parallel = _parallel_config(args)
     t0 = time.perf_counter()
     lemon = LemonTreeLearner(
-        LearnerConfig(n_workers=args.workers)
+        LearnerConfig(parallel=parallel)
     ).learn(matrix, seed=args.seed)
     t_lemon = time.perf_counter() - t0
     t0 = time.perf_counter()
     genomica = GenomicaLearner(
-        GenomicaConfig(n_modules=args.modules, n_workers=args.workers)
+        GenomicaConfig(n_modules=args.modules, parallel=parallel)
     ).learn(matrix, seed=args.seed)
     t_genomica = time.perf_counter() - t0
 
@@ -289,11 +310,9 @@ def cmd_ganesh(args: argparse.Namespace) -> int:
         n_ganesh_runs=args.runs,
         n_update_steps=args.update_steps,
         init_var_clusters=init,
-        n_workers=args.workers,
+        parallel=_parallel_config(args),
     )
-    samples = LemonTreeLearner(config).sample_clusterings(
-        matrix, seed=args.seed, checkpoint_dir=args.checkpoint_dir
-    )
+    samples = LemonTreeLearner(config).sample_clusterings(matrix, seed=args.seed)
     payload = {
         "n_vars": matrix.n_vars,
         "seed": args.seed,
@@ -343,12 +362,10 @@ def cmd_modules(args: argparse.Namespace) -> int:
         )
     config = LearnerConfig(
         n_splits_per_node=args.splits, max_sampling_steps=args.sampling_steps,
-        n_workers=args.workers, parallel_mode=args.parallel_mode,
-        schedule=args.schedule,
+        parallel=_parallel_config(args),
     )
     result = LemonTreeLearner(config).learn_from_modules(
         matrix, payload["modules"], seed=args.seed,
-        checkpoint_dir=args.checkpoint_dir,
     )
     network = result.network
     workers = config.resolve_n_workers()

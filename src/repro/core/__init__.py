@@ -13,13 +13,14 @@
   networks.
 """
 
-from repro.core.config import LearnerConfig
+from repro.core.config import LearnerConfig, ParallelConfig
 from repro.core.learner import LearnResult, LemonTreeLearner
 from repro.core.output import network_from_json, network_to_json, network_to_xml
 from repro.core.reference import ReferenceLearner
 
 __all__ = [
     "LearnerConfig",
+    "ParallelConfig",
     "LemonTreeLearner",
     "LearnResult",
     "ReferenceLearner",

@@ -2,11 +2,118 @@
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+import sys
+import warnings
+from dataclasses import InitVar, dataclass, field, replace
 from typing import Sequence
 
 from repro.scoring.normal_gamma import DEFAULT_PRIOR, NormalGammaPrior
 from repro.scoring.split_score import DEFAULT_BETA_GRID
+
+# One DeprecationWarning per (deprecated field, calling module): loud
+# enough to surface in every affected codebase, quiet enough not to spam
+# a loop that reads ``config.n_workers`` per module.
+_WARNED_DEPRECATIONS: set[tuple[str, str]] = set()
+
+
+def _warn_deprecated(owner: str, old: str, new: str, *, stacklevel: int) -> None:
+    caller = sys._getframe(stacklevel - 1)
+    module = caller.f_globals.get("__name__", "<unknown>")
+    key = (f"{owner}.{old}", module)
+    if key in _WARNED_DEPRECATIONS:
+        return
+    _WARNED_DEPRECATIONS.add(key)
+    warnings.warn(
+        f"{owner}.{old} is deprecated; use {owner}.{new} "
+        f"(e.g. {owner}(parallel=ParallelConfig(...)))",
+        DeprecationWarning,
+        stacklevel=stacklevel,
+    )
+
+
+def _reset_deprecation_warnings() -> None:
+    """Forget which call sites were already warned (test helper)."""
+    _WARNED_DEPRECATIONS.clear()
+
+
+@dataclass(frozen=True)
+class ParallelConfig:
+    """The execution-backend knobs shared by every learner.
+
+    Consolidates what used to be flat fields duplicated across
+    :class:`LearnerConfig` (``n_workers``/``parallel_mode``/``schedule``)
+    and :class:`repro.genomica.learner.GenomicaConfig` (``n_workers``)
+    into one composable value embedded in both as ``config.parallel``.
+    """
+
+    #: worker processes (1 = in-process sequential, 0 = every core the
+    #: process affinity mask allows); >1 runs on one persistent
+    #: :class:`repro.parallel.executor.TaskPoolExecutor` — a single pool
+    #: and a single shared-memory matrix transfer per ``learn`` call
+    n_workers: int = 1
+    #: decomposition: "module" (whole modules per worker), "split"
+    #: (fine-grained candidate-split tasks) or "auto" (cost heuristic)
+    mode: str = "auto"
+    #: dispatch: "static" contiguous blocks or "dynamic" queue pulling
+    #: (largest-module-first in module mode)
+    schedule: str = "dynamic"
+    #: default checkpoint directory for ``learn(checkpoint_dir=...)``
+    #: (the explicit argument wins when both are given)
+    checkpoint_dir: str | None = None
+    #: machine model: "auto" (probe sysfs, fall back flat), "flat"
+    #: (single NUMA domain, fixed kernel chunk — the pre-topology
+    #: behaviour), or an explicit
+    #: :class:`repro.parallel.topology.MachineTopology`
+    topology: object = "auto"
+
+    def __post_init__(self) -> None:
+        if self.n_workers < 0:
+            raise ValueError("n_workers must be non-negative (0 = all cores)")
+        if self.mode not in ("auto", "module", "split"):
+            raise ValueError("mode must be 'auto', 'module' or 'split'")
+        if self.schedule not in ("static", "dynamic"):
+            raise ValueError("schedule must be 'static' or 'dynamic'")
+        topology = self.topology
+        if isinstance(topology, str):
+            if topology not in ("auto", "flat"):
+                raise ValueError("topology must be 'auto', 'flat' or a MachineTopology")
+        elif not hasattr(topology, "numa_domains"):
+            raise ValueError("topology must be 'auto', 'flat' or a MachineTopology")
+
+    def resolve_n_workers(self) -> int:
+        """The effective worker count (0 means every available core).
+
+        "Every available core" honours the process affinity mask —
+        containerized CI typically grants fewer cores than
+        ``os.cpu_count()`` reports for the host, and oversubscribing the
+        mask just makes workers time-slice each other.
+        """
+        if self.n_workers != 0:
+            return self.n_workers
+        import os
+
+        getaffinity = getattr(os, "sched_getaffinity", None)
+        if getaffinity is not None:
+            try:
+                return max(1, len(getaffinity(0)))
+            except OSError:  # pragma: no cover - exotic kernels
+                pass
+        return max(1, os.cpu_count() or 1)
+
+    def resolve_topology(self):
+        """The :class:`~repro.parallel.topology.MachineTopology` to use."""
+        # Lazy import: repro.parallel pulls in the engine/learner stack.
+        from repro.parallel.topology import resolve_topology
+
+        return resolve_topology(self.topology)
+
+
+#: (deprecated flat field, ParallelConfig field) pairs shimmed on LearnerConfig
+_LEARNER_KNOBS = (
+    ("n_workers", "n_workers"),
+    ("parallel_mode", "mode"),
+    ("schedule", "schedule"),
+)
 
 
 @dataclass(frozen=True)
@@ -52,24 +159,25 @@ class LearnerConfig:
     beta_grid: tuple[float, ...] = DEFAULT_BETA_GRID
 
     # -- execution backend (persistent task-pool executor) ----------------
-    #: worker processes for tasks 1 and 3 (1 = in-process sequential, 0 =
-    #: all cores); >1 runs both the G GaneSH chains and module learning on
-    #: one :class:`repro.parallel.executor.TaskPoolExecutor` — a single
-    #: pool and a single shared-memory matrix transfer per ``learn`` call
-    n_workers: int = 1
-    #: decomposition: "module" (whole modules per worker), "split"
-    #: (fine-grained candidate-split tasks) or "auto" (cost heuristic)
-    parallel_mode: str = "auto"
-    #: dispatch: "static" contiguous blocks or "dynamic" queue pulling
-    #: (largest-module-first in module mode)
-    schedule: str = "dynamic"
+    parallel: ParallelConfig = field(default_factory=ParallelConfig)
+    #: deprecated flat aliases for ``parallel.n_workers`` /
+    #: ``parallel.mode`` / ``parallel.schedule`` — still accepted (and
+    #: readable via the same-named properties below) for one release
+    n_workers: InitVar[int | None] = None
+    parallel_mode: InitVar[str | None] = None
+    schedule: InitVar[str | None] = None
 
     # -- shared -----------------------------------------------------------
     prior: NormalGammaPrior = field(default_factory=lambda: DEFAULT_PRIOR)
     #: RNG backend: "philox" (default) or "mrg"
     rng_backend: str = "philox"
 
-    def __post_init__(self) -> None:
+    def __post_init__(
+        self,
+        n_workers: int | None,
+        parallel_mode: str | None,
+        schedule: str | None,
+    ) -> None:
         if self.n_ganesh_runs < 1:
             raise ValueError("n_ganesh_runs must be at least 1")
         if self.n_update_steps < 1:
@@ -86,12 +194,33 @@ class LearnerConfig:
             raise ValueError("consensus_threshold must lie in [0, 1]")
         if self.rng_backend not in ("philox", "mrg"):
             raise ValueError("rng_backend must be 'philox' or 'mrg'")
-        if self.n_workers < 0:
-            raise ValueError("n_workers must be non-negative (0 = all cores)")
-        if self.parallel_mode not in ("auto", "module", "split"):
-            raise ValueError("parallel_mode must be 'auto', 'module' or 'split'")
-        if self.schedule not in ("static", "dynamic"):
-            raise ValueError("schedule must be 'static' or 'dynamic'")
+        if not isinstance(self.parallel, ParallelConfig):
+            raise ValueError("parallel must be a ParallelConfig")
+        overrides = {}
+        for (old, new), value in zip(_LEARNER_KNOBS, (n_workers, parallel_mode, schedule)):
+            if value is not None:
+                _warn_deprecated("LearnerConfig", old, f"parallel.{new}", stacklevel=4)
+                overrides[new] = value
+        if overrides:
+            # replace() revalidates through ParallelConfig.__post_init__.
+            object.__setattr__(self, "parallel", replace(self.parallel, **overrides))
+
+    def __setstate__(self, state: dict) -> None:
+        # Pickles written before the ParallelConfig consolidation carry
+        # the flat knobs; fold them into the embedded config so the
+        # class-level deprecation properties don't shadow stale entries.
+        state = dict(state)
+        if "parallel" not in state:
+            overrides = {
+                new: state.pop(old)
+                for old, new in _LEARNER_KNOBS
+                if old in state
+            }
+            state["parallel"] = ParallelConfig(**overrides)
+        else:
+            for old, _ in _LEARNER_KNOBS:
+                state.pop(old, None)
+        self.__dict__.update(state)
 
     def resolve_init_clusters(self, n_vars: int) -> int:
         """The initial variable-cluster count K0 for ``n_vars`` variables."""
@@ -108,11 +237,7 @@ class LearnerConfig:
 
     def resolve_n_workers(self) -> int:
         """The effective worker count (0 means every available core)."""
-        if self.n_workers == 0:
-            import os
-
-            return max(1, os.cpu_count() or 1)
-        return self.n_workers
+        return self.parallel.resolve_n_workers()
 
     def resolve_candidate_parents(self, n_vars: int) -> tuple[int, ...]:
         """The candidate-parent list, defaulting to every variable."""
@@ -124,10 +249,37 @@ class LearnerConfig:
         return tuple(self.candidate_parents)
 
     def with_updates(self, **changes) -> "LearnerConfig":
-        """A copy with the given fields replaced."""
-        from dataclasses import replace
+        """A copy with the given fields replaced.
 
-        return replace(self, **changes)
+        The deprecated flat knobs are accepted here too and fold onto the
+        embedded ``parallel`` config (warning once per call site).
+        """
+        overrides = {}
+        for old, new in _LEARNER_KNOBS:
+            if old in changes:
+                _warn_deprecated("LearnerConfig", old, f"parallel.{new}", stacklevel=3)
+                overrides[new] = changes.pop(old)
+        if overrides:
+            base = changes.get("parallel", self.parallel)
+            changes["parallel"] = replace(base, **overrides)
+        # replace() refuses unspecified InitVar fields; None means unset.
+        return replace(self, n_workers=None, parallel_mode=None, schedule=None, **changes)
+
+
+def _deprecated_knob(owner: str, old: str, new: str) -> property:
+    def fget(self):
+        _warn_deprecated(owner, old, f"parallel.{new}", stacklevel=3)
+        return getattr(self.parallel, new)
+
+    fget.__doc__ = f"Deprecated alias for ``parallel.{new}``."
+    return property(fget)
+
+
+# Attached after class creation: a property in the class body would be
+# mistaken for the dataclass field default.
+for _old, _new in _LEARNER_KNOBS:
+    setattr(LearnerConfig, _old, _deprecated_knob("LearnerConfig", _old, _new))
+del _old, _new
 
 
 def parents_from_names(names: Sequence[str], var_names: Sequence[str]) -> tuple[int, ...]:

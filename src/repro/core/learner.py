@@ -73,15 +73,18 @@ class LemonTreeLearner:
         ``checkpoint_dir`` makes the run resumable: Task 1 persists each
         GaneSH run to ``ganesh_<g>.npz`` and Task 3 each learned module to
         ``module_<id>.json``; a restarted run skips whatever is already on
-        disk and produces the identical network.
+        disk and produces the identical network.  It defaults to
+        ``config.parallel.checkpoint_dir`` when not given.
 
-        With ``config.n_workers > 1`` a single persistent worker pool
-        (:class:`repro.parallel.executor.TaskPoolExecutor`) serves both
-        Task 1 (the G independent GaneSH runs) and Task 3 (module
+        With ``config.parallel.n_workers > 1`` a single persistent worker
+        pool (:class:`repro.parallel.executor.TaskPoolExecutor`) serves
+        both Task 1 (the G independent GaneSH runs) and Task 3 (module
         learning): one pool construction, one shared-memory matrix
         transfer, per ``learn`` call.
         """
         config = self.config
+        if checkpoint_dir is None:
+            checkpoint_dir = config.parallel.checkpoint_dir
         data = matrix.values
         executor = self._make_executor(data, seed, checkpoint_dir)
         try:
@@ -150,13 +153,15 @@ class LemonTreeLearner:
     ) -> list[np.ndarray]:
         """Task 1 only: the ensemble of GaneSH variable-cluster samples.
 
-        With ``config.n_workers > 1`` the G runs execute concurrently on
+        With ``config.parallel.n_workers > 1`` the G runs execute concurrently on
         the persistent pool executor; because every run draws only its own
         ``("ganesh", g)`` stream the ensemble is bit-identical to a
         sequential pass.  ``checkpoint_dir`` persists each completed run to
         ``ganesh_<g>.npz`` so an interrupted task re-executes only the
         missing runs.
         """
+        if checkpoint_dir is None:
+            checkpoint_dir = self.config.parallel.checkpoint_dir
         executor = self._make_executor(matrix.values, seed, checkpoint_dir)
         try:
             return self._task_ganesh(
@@ -196,11 +201,13 @@ class LemonTreeLearner:
         every module consumes its own named random streams, a resumed run
         produces exactly the network an uninterrupted run would.
 
-        With ``config.n_workers > 1`` the modules are learned on the
+        With ``config.parallel.n_workers > 1`` the modules are learned on the
         persistent shared-memory executor
         (:class:`repro.parallel.executor.ModuleExecutor`) — same named
         streams, so the network is bit-identical to a sequential run.
         """
+        if checkpoint_dir is None:
+            checkpoint_dir = self.config.parallel.checkpoint_dir
         seen: set[int] = set()
         for members in modules_members:
             for var in members:

@@ -27,11 +27,16 @@ fixed-point/iteration cap terminates the loop, as in GENOMICA.
 from __future__ import annotations
 
 import time
-from dataclasses import dataclass, field
+from dataclasses import InitVar, dataclass, field
 
 import numpy as np
 
-from repro.core.config import LearnerConfig
+from repro.core.config import (
+    LearnerConfig,
+    ParallelConfig,
+    _deprecated_knob,
+    _warn_deprecated,
+)
 from repro.datatypes import ExpressionMatrix, Module, ModuleNetwork, Split
 from repro.ganesh.coclustering import SweepHooks, run_obs_only_ganesh
 from repro.rng.streams import GibbsRandom, make_stream
@@ -57,22 +62,50 @@ class GenomicaConfig:
     beta_grid: tuple[float, ...] = DEFAULT_BETA_GRID
     prior: NormalGammaPrior = field(default_factory=lambda: DEFAULT_PRIOR)
     rng_backend: str = "philox"
-    #: worker processes for the final network build (1 = in-process; >1
-    #: learns the K module trees concurrently on the persistent
-    #: :class:`repro.parallel.executor.TaskPoolExecutor` — bit-identical
-    #: output because each module consumes only its own
-    #: ``("genomica-final", id)`` stream)
-    n_workers: int = 1
+    #: execution backend (``parallel.n_workers == 1`` is in-process; >1
+    #: runs the M-step chains and the final network build concurrently on
+    #: the persistent :class:`repro.parallel.executor.TaskPoolExecutor` —
+    #: bit-identical output because each task consumes only its own named
+    #: stream)
+    parallel: ParallelConfig = field(default_factory=ParallelConfig)
+    #: deprecated flat alias for ``parallel.n_workers``
+    n_workers: InitVar[int | None] = None
 
-    def __post_init__(self) -> None:
+    def __post_init__(self, n_workers: int | None) -> None:
         if self.n_modules < 1:
             raise ValueError("n_modules must be at least 1")
         if self.max_iterations < 1:
             raise ValueError("max_iterations must be at least 1")
         if self.tree_update_steps < 1:
             raise ValueError("tree_update_steps must be at least 1")
-        if self.n_workers < 0:
-            raise ValueError("n_workers must be non-negative (0 = all cores)")
+        if not isinstance(self.parallel, ParallelConfig):
+            raise ValueError("parallel must be a ParallelConfig")
+        if n_workers is not None:
+            _warn_deprecated(
+                "GenomicaConfig", "n_workers", "parallel.n_workers", stacklevel=4
+            )
+            from dataclasses import replace
+
+            object.__setattr__(
+                self, "parallel", replace(self.parallel, n_workers=n_workers)
+            )
+
+    def __setstate__(self, state: dict) -> None:
+        # Migrate pickles from before the ParallelConfig consolidation.
+        state = dict(state)
+        if "parallel" not in state:
+            overrides = (
+                {"n_workers": state.pop("n_workers")} if "n_workers" in state else {}
+            )
+            state["parallel"] = ParallelConfig(**overrides)
+        else:
+            state.pop("n_workers", None)
+        self.__dict__.update(state)
+
+
+# Attached after class creation: a property in the class body would be
+# mistaken for the dataclass field default.
+GenomicaConfig.n_workers = _deprecated_knob("GenomicaConfig", "n_workers", "n_workers")
 
 
 @dataclass
@@ -121,7 +154,7 @@ class GenomicaLearner:
         # shared-memory matrix transfer).  Per-superstep trace hooks only
         # record in-process, so traced runs stay sequential.
         executor = None
-        if config.n_workers != 1 and trace is None and k > 1:
+        if config.parallel.n_workers != 1 and trace is None and k > 1:
             executor = self._make_executor(data, parents, seed)
 
         history: list[float] = []
@@ -318,7 +351,7 @@ class GenomicaLearner:
     ) -> ModuleNetwork:
         """Final trees with the deterministic best split per node.
 
-        With an executor (``config.n_workers > 1`` and no trace —
+        With an executor (``config.parallel.n_workers > 1`` and no trace —
         per-superstep hooks only record in-process) the K module builds run
         concurrently on the persistent task-pool executor; each consumes
         only its own ``("genomica-final", id)`` stream, so the network is
@@ -330,7 +363,7 @@ class GenomicaLearner:
             [int(v) for v in np.flatnonzero(assignment == module_id)]
             for module_id in range(k)
         ]
-        if executor is None and config.n_workers != 1 and trace is None and k > 1:
+        if executor is None and config.parallel.n_workers != 1 and trace is None and k > 1:
             modules = self._build_modules_pooled(data, members_of, parents, seed)
         elif executor is not None:
             modules = executor.submit_runs(
@@ -360,7 +393,7 @@ class GenomicaLearner:
             tree_update_steps=config.tree_update_steps,
             prior=config.prior,
             rng_backend=config.rng_backend,
-            n_workers=config.n_workers,
+            parallel=config.parallel,
         )
         return TaskPoolExecutor(data, parents, bridge, seed)
 

@@ -24,11 +24,22 @@ MPI implementation is reproduced with three cooperating layers:
   survives the whole ``learn`` invocation, the G GaneSH chains run
   concurrently, and whole modules are learned concurrently
   (largest-first) with a fine-grained split-task fallback.
+* :mod:`repro.parallel.topology` — the machine model behind the executor's
+  placement: NUMA domains and cache sizes probed from sysfs (flat
+  single-domain fallback), worker pinning, first-touch page placement and
+  cache-derived kernel chunk sizing.  Placement never changes results.
 """
 
 from repro.parallel.comm import SerialComm, ThreadComm, run_spmd
 from repro.parallel.costmodel import MachineModel
 from repro.parallel.engine import ParallelLearner
+from repro.parallel.topology import (
+    MachineTopology,
+    Placement,
+    flat_topology,
+    plan_placement,
+    probe_topology,
+)
 from repro.parallel.trace import WorkTrace, project_time
 
 __all__ = [
@@ -36,6 +47,11 @@ __all__ = [
     "SerialComm",
     "run_spmd",
     "MachineModel",
+    "MachineTopology",
+    "Placement",
+    "flat_topology",
+    "plan_placement",
+    "probe_topology",
     "WorkTrace",
     "project_time",
     "ParallelLearner",

@@ -63,7 +63,14 @@ from repro.parallel import pool as pool_mod
 from repro.parallel import poolutil
 from repro.parallel.checkpoint_writer import AsyncCheckpointWriter
 from repro.parallel.pool import _subdivide, build_split_tasks
+from repro.parallel.topology import (
+    Placement,
+    chunk_elements_for,
+    pin_to,
+    plan_placement,
+)
 from repro.parallel.trace import WorkTrace
+from repro.scoring import kernel as kernel_mod
 from repro.rng.streams import GibbsRandom, make_stream
 from repro.scoring.split_score import SplitScorer
 from repro.trees.hierarchy import build_tree_structure
@@ -97,15 +104,48 @@ class SharedMatrix:
 
     Created once per executor; workers attach by name with no copy.  The
     creating process owns the segment and unlinks it on :meth:`close`.
+
+    With a multi-domain ``placement``, the initial copy is *first-touch
+    interleaved*: the driver temporarily pins itself to each NUMA domain's
+    CPUs while writing that domain's contiguous row block, so the kernel
+    allocates those shared pages on the memory node whose workers will
+    read them (Linux's default first-touch NUMA policy).  Purely a page
+    *location* effect — the bytes written are identical either way.
     """
 
-    def __init__(self, data: np.ndarray) -> None:
+    def __init__(self, data: np.ndarray, placement: Placement | None = None) -> None:
         data = np.ascontiguousarray(data, dtype=np.float64)
         self._shm = shared_memory.SharedMemory(create=True, size=data.nbytes)
         self.array = np.ndarray(data.shape, dtype=data.dtype, buffer=self._shm.buf)
-        self.array[:] = data
+        if placement is not None and not placement.is_flat:
+            self._first_touch_copy(data, placement)
+        else:
+            self.array[:] = data
         #: everything a worker needs to attach: (name, shape, dtype)
         self.spec = (self._shm.name, data.shape, data.dtype.str)
+
+    def _first_touch_copy(self, data: np.ndarray, placement: Placement) -> None:
+        getaffinity = getattr(os, "sched_getaffinity", None)
+        try:
+            original = getaffinity(0) if getaffinity is not None else None
+        except OSError:  # pragma: no cover - exotic kernels
+            original = None
+        if original is None:
+            self.array[:] = data
+            return
+        try:
+            for domain, (lo, hi) in enumerate(
+                placement.domain_blocks(data.shape[0])
+            ):
+                if lo >= hi:
+                    continue
+                pin_to(placement.topology.numa_domains[domain])
+                self.array[lo:hi] = data[lo:hi]
+        finally:
+            try:
+                os.sched_setaffinity(0, original)
+            except OSError:  # pragma: no cover - affinity revoked mid-copy
+                pass
 
     def close(self) -> None:
         self.array = None
@@ -140,7 +180,15 @@ _STATE: dict = {}
 
 
 def _executor_init(
-    matrix_spec, parents, config, seed, checkpoint_dir, counter, flush_barrier=None
+    matrix_spec,
+    parents,
+    config,
+    seed,
+    checkpoint_dir,
+    counter,
+    flush_barrier=None,
+    placement=None,
+    kernel_chunk_elements=None,
 ):
     """Pool initializer: attach the matrix once, install worker state.
 
@@ -148,13 +196,35 @@ def _executor_init(
     tests read it to assert the matrix was shipped exactly once per worker
     (i.e. the initializer ran once, never per task), and the driver reads
     it mid-run to detect dead workers — the pool re-runs the initializer
-    for every replacement it spawns.
+    for every replacement it spawns.  The pre-increment value doubles as
+    this worker's index into the ``placement`` plan (``mp.Pool`` hands
+    every worker identical initargs, so the index must be derived from
+    shared state): the worker pins itself to its assigned NUMA domain's
+    CPU set and remembers the domain for per-domain busy accounting.
+    Replacement workers draw indices past the plan and wrap onto it.
+
+    ``kernel_chunk_elements`` installs the topology-derived default for
+    :class:`repro.scoring.kernel.LazySplitKernel` evaluation chunks in
+    this worker process.  Neither pinning nor chunk sizing can change any
+    score — see :mod:`repro.parallel.topology`.
 
     With a checkpoint directory, each worker also starts an
     :class:`AsyncCheckpointWriter` so checkpoint serialization never stalls
     task execution; ``flush_barrier`` is the shared barrier the executor's
     close-time flush rendezvous uses (see :func:`_checkpoint_flush_run`).
     """
+    worker_index = 0
+    if counter is not None:
+        with counter.get_lock():
+            worker_index = int(counter.value)
+            counter.value += 1
+    domain = 0
+    if placement is not None:
+        domain = placement.domain_of(worker_index)
+        pin_to(placement.worker_cpus(worker_index))
+    _STATE["domain"] = domain
+    if kernel_chunk_elements is not None:
+        kernel_mod.set_chunk_elements(kernel_chunk_elements)
     shm, data = _attach_shared(matrix_spec)
     pool_mod._init_worker(data, parents, config, seed)
     _STATE["shm"] = shm  # keep the mapping alive for the worker's lifetime
@@ -167,9 +237,6 @@ def _executor_init(
         if checkpoint_dir is not None
         else None
     )
-    if counter is not None:
-        with counter.get_lock():
-            counter.value += 1
 
 
 def _worker_ctx() -> dict:
@@ -215,12 +282,19 @@ def _generic_run(payload):
 
     Runs ``fn(ctx, item)`` and ships back the item's dispatch index (so
     the driver reassembles results in item order whatever the completion
-    order), the worker pid and the task's wall time.
+    order), the worker pid, the worker's NUMA domain and the task's wall
+    time.
     """
     fn, index, item = payload
     t0 = time.perf_counter()
     result = fn(_worker_ctx(), item)
-    return index, result, os.getpid(), time.perf_counter() - t0
+    return (
+        index,
+        result,
+        os.getpid(),
+        _STATE.get("domain", 0),
+        time.perf_counter() - t0,
+    )
 
 
 def _ganesh_run(ctx, item):
@@ -524,14 +598,26 @@ class TaskPoolExecutor:
         self.n_workers = (
             config.resolve_n_workers() if n_workers is None else int(n_workers)
         )
-        self.parallel_mode = parallel_mode or config.parallel_mode
-        self.schedule = schedule or config.schedule
+        self.parallel_mode = parallel_mode or config.parallel.mode
+        self.schedule = schedule or config.parallel.schedule
         if self.schedule not in ("static", "dynamic"):
             raise ValueError("schedule must be 'static' or 'dynamic'")
         if self.parallel_mode not in ("auto", "module", "split"):
             raise ValueError("parallel_mode must be 'auto', 'module' or 'split'")
-        self.checkpoint_dir = checkpoint_dir
+        self.checkpoint_dir = (
+            checkpoint_dir
+            if checkpoint_dir is not None
+            else config.parallel.checkpoint_dir
+        )
         self.crash_poll_seconds = float(crash_poll_seconds)
+        #: the machine model and worker->domain plan this executor runs
+        #: under; placement decides where work executes, never its results
+        self.topology = config.parallel.resolve_topology()
+        self.placement = plan_placement(self.topology, max(1, self.n_workers))
+        #: topology-derived kernel evaluation chunk size, installed in
+        #: every worker (and on the serial path) via the scoring kernel's
+        #: process-wide default
+        self.kernel_chunk_elements = chunk_elements_for(self.topology)
         self.stats = ExecutorStats(n_workers=self.n_workers)
         self._mp_context = mp_context
         self._pool = None
@@ -539,6 +625,7 @@ class TaskPoolExecutor:
         self._init_counter = None
         self._expected_inits = 0
         self._serial_ready = False
+        self._prev_chunk_elements: int | None | bool = False  # False = unset
         self._flush_barrier = None
         self._flush_timeout = 30.0
 
@@ -572,6 +659,10 @@ class TaskPoolExecutor:
                 # retain the matrix past the executor's lifetime.
                 pool_mod._clear_worker()
                 self._serial_ready = False
+            if self._prev_chunk_elements is not False:
+                # Restore whatever kernel chunk default the driver had.
+                kernel_mod.set_chunk_elements(self._prev_chunk_elements)
+                self._prev_chunk_elements = False
 
     def _drain_checkpoint_writers(self, pool) -> None:
         """Flush every worker's async checkpoint writer before teardown.
@@ -607,7 +698,7 @@ class TaskPoolExecutor:
         """Create the shared matrix and the pool once, on first dispatch."""
         if self._pool is None:
             ctx = poolutil.pool_context(self._mp_context)
-            self._shared = SharedMatrix(self.data)
+            self._shared = SharedMatrix(self.data, placement=self.placement)
             self._init_counter = ctx.Value("i", 0)
             poolutil.note_pool_construction()
             poolutil.note_matrix_transfer()
@@ -629,14 +720,29 @@ class TaskPoolExecutor:
                     self.checkpoint_dir,
                     self._init_counter,
                     self._flush_barrier,
+                    self.placement,
+                    self.kernel_chunk_elements,
                 ),
             )
             self._expected_inits = self.n_workers
         return self._pool
 
+    def _apply_kernel_chunk(self) -> None:
+        """Install the topology-derived kernel chunk size in this process.
+
+        The previous process-wide default is remembered and restored on
+        :meth:`close`, so nesting executors (or running one inside a test
+        that configured its own size) round-trips cleanly.
+        """
+        if self._prev_chunk_elements is False:
+            self._prev_chunk_elements = kernel_mod.set_chunk_elements(
+                self.kernel_chunk_elements
+            )
+
     def _ensure_serial(self) -> None:
         """Install the in-process scoring state (n_workers == 1 path)."""
         if not self._serial_ready:
+            self._apply_kernel_chunk()
             pool_mod._init_worker(self.data, self.parents, self.config, self.seed)
             self._serial_ready = True
 
@@ -693,6 +799,7 @@ class TaskPoolExecutor:
             order = list(self.dispatch_order_hook(order))
         results: list = [None] * len(items)
         busy: dict[int, float] = {}
+        domain_busy: dict[int, float] = {}
 
         if self.n_workers <= 1:
             ctx = self._serial_ctx()
@@ -710,11 +817,12 @@ class TaskPoolExecutor:
             it = pool.imap_unordered(_generic_run, payloads, chunksize or 1)
             raw = self._collect_crash_aware(it, len(payloads))
         self.stats.tasks_dispatched += len(payloads)
-        for index, result, pid, secs in raw:
+        for index, result, pid, domain, secs in raw:
             results[index] = result
             busy[pid] = busy.get(pid, 0.0) + secs
+            domain_busy[domain] = domain_busy.get(domain, 0.0) + secs
         if trace is not None:
-            self._record_worker_times(trace, busy)
+            self._record_worker_times(trace, busy, domain_busy)
         return results
 
     def _check_workers_alive(self) -> None:
@@ -800,10 +908,19 @@ class TaskPoolExecutor:
         if self.n_workers <= 1 or total == 0:
             work_items, chunksize = tasks, None
         elif self.schedule == "static":
-            work_items = _subdivide(tasks, total, self.n_workers)
+            # One chunk per worker, nested inside NUMA-domain blocks so a
+            # chunk's output region lies in the shared pages its domain
+            # first-touched (degenerates to plain block_bounds when flat).
+            work_items = _subdivide(
+                tasks, total, self.n_workers,
+                bounds=self.placement.chunk_bounds(total),
+            )
             chunksize = max(1, len(work_items) // self.n_workers)
         else:
-            work_items = _subdivide(tasks, total, 4 * self.n_workers)
+            work_items = _subdivide(
+                tasks, total, 4 * self.n_workers,
+                bounds=self.placement.chunk_bounds(total, 4),
+            )
             chunksize = 1
         results = self.submit_runs(
             _score_chunk_run, work_items, chunksize=chunksize, trace=trace
@@ -815,9 +932,18 @@ class TaskPoolExecutor:
             accepted[offset : offset + ac.size] = ac
         return log_scores, steps, accepted
 
-    def _record_worker_times(self, trace, busy: dict[int, float]) -> None:
+    def _record_worker_times(
+        self,
+        trace,
+        busy: dict[int, float],
+        domain_busy: dict[int, float] | None = None,
+    ) -> None:
         for index, pid in enumerate(sorted(busy)):
             trace.mark_worker_time(f"worker-{index}", busy[pid])
+        for domain in sorted(domain_busy or ()):
+            trace.mark_domain_time(f"node{domain}", domain_busy[domain])
+        if trace.topology is None:
+            trace.topology = self.placement.describe()
 
     # -- module learning (the outer level) ---------------------------------
     def learn_modules(self, modules_members, trace=None) -> list[Module]:
@@ -837,6 +963,7 @@ class TaskPoolExecutor:
         if not pending:
             pass
         elif self.n_workers <= 1:
+            self._apply_kernel_chunk()
             scorer = _make_scorer(self.config)
             for module_id, members in pending:
                 module = learn_single_module(

@@ -134,17 +134,29 @@ def build_split_tasks(node_records, n_parents: int) -> tuple[list[SplitTask], in
     return tasks, offset
 
 
-def _subdivide(tasks: list[SplitTask], total: int, n_chunks: int) -> list[SplitTask]:
+def _subdivide(
+    tasks: list[SplitTask],
+    total: int,
+    n_chunks: int,
+    bounds: list[tuple[int, int]] | None = None,
+) -> list[SplitTask]:
     """Split node tasks along the flat index so chunks have equal split counts.
 
     Tasks and chunk bounds are both sorted along the flat split index, so a
     single merge walk suffices: O(tasks + chunks + pieces) instead of the
     O(chunks x tasks) rescan of every task per chunk.
+
+    ``bounds`` overrides the default equal-count :func:`block_bounds`
+    partition with an explicit sorted list of ``[lo, hi)`` chunk bounds —
+    the executor passes its NUMA placement's nested bounds so each chunk
+    stays inside the flat region whose shared-memory pages its domain
+    first-touched.  Chunk boundaries only change *where* splits are
+    scored, never their values: results are written back by flat offset.
     """
     out: list[SplitTask] = []
     ti = 0
     n_tasks = len(tasks)
-    for lo, hi in block_bounds(total, n_chunks):
+    for lo, hi in (bounds if bounds is not None else block_bounds(total, n_chunks)):
         if lo >= hi:
             continue
         # Skip tasks that end at or before this chunk; a task straddling a

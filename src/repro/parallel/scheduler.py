@@ -120,6 +120,62 @@ def chunked_lpt_schedule(
     return ScheduleResult("chunked-lpt", p, per_rank)
 
 
+def placement_lpt_schedule(
+    split_costs: np.ndarray,
+    group_sizes: np.ndarray,
+    placement,
+    remote_penalty: float = 1.3,
+) -> ScheduleResult:
+    """Placement-aware LPT: greedy over groups with NUMA locality costs.
+
+    Models the executor's topology-aware dispatch: ``placement`` is a
+    :class:`repro.parallel.topology.Placement`, each group's *home* domain
+    is the domain whose contiguous block of the flat split range contains
+    the group's midpoint (the region whose shared-memory pages that domain
+    first-touched), and assigning a group to a rank outside its home
+    domain costs ``remote_penalty`` times its work (remote DRAM reads).
+    Largest-first to the rank with the lowest *effective* finish time —
+    degenerate to plain :func:`lpt_schedule` on a flat single-domain
+    placement (every assignment is local).  Analysis-only, like the other
+    schemes: the executor's real dispatch never changes results, this
+    model just predicts what placement buys.
+    """
+    split_costs = np.asarray(split_costs, dtype=np.float64)
+    group_sizes = np.asarray(group_sizes, dtype=np.int64)
+    if group_sizes.sum() != split_costs.size:
+        raise ValueError("group sizes must cover the cost vector exactly")
+    if remote_penalty < 1.0:
+        raise ValueError("remote_penalty must be at least 1")
+    p = placement.n_workers
+    total = int(split_costs.size)
+    domain_blocks = placement.domain_blocks(total)
+    bounds = np.concatenate([[0], np.cumsum(group_sizes)])
+    group_costs = np.array(
+        [split_costs[bounds[i] : bounds[i + 1]].sum() for i in range(group_sizes.size)]
+    )
+
+    def home_domain(group_index: int) -> int:
+        mid = (bounds[group_index] + bounds[group_index + 1]) // 2
+        for domain, (lo, hi) in enumerate(domain_blocks):
+            if lo <= mid < hi:
+                return domain
+        return 0
+
+    homes = np.array([home_domain(i) for i in range(group_sizes.size)])
+    rank_domains = np.array(
+        [placement.domain_of(rank) for rank in range(p)], dtype=np.int64
+    )
+    per_rank = np.zeros(p, dtype=np.float64)
+    order = np.argsort(-group_costs, kind="stable")
+    for g in order:
+        effective = per_rank + np.where(
+            rank_domains == homes[g], group_costs[g], group_costs[g] * remote_penalty
+        )
+        rank = int(np.argmin(effective))
+        per_rank[rank] = effective[rank]
+    return ScheduleResult("placement-lpt", p, per_rank)
+
+
 def imbalance_sweep(
     split_costs: np.ndarray, processor_counts: list[int]
 ) -> dict[int, float]:

@@ -69,6 +69,12 @@ class WorkTrace:
     #: recorded by the process executor so measured parallel speedups can
     #: be compared against the projected ones
     worker_times: dict[str, float] = field(default_factory=dict)
+    #: measured busy wall seconds per NUMA domain ('node0', ...), recorded
+    #: by the process executor when a placement plan is active
+    domain_times: dict[str, float] = field(default_factory=dict)
+    #: the executor's placement plan (``Placement.describe()``): machine
+    #: topology plus the worker->domain map, for benchmark reports
+    topology: dict | None = None
 
     # -- recording (the learner's hook) -----------------------------------
     def record(
@@ -97,6 +103,12 @@ class WorkTrace:
     def mark_worker_time(self, worker: str, seconds: float) -> None:
         """Accumulate busy wall time of one executor worker."""
         self.worker_times[worker] = self.worker_times.get(worker, 0.0) + float(
+            seconds
+        )
+
+    def mark_domain_time(self, domain: str, seconds: float) -> None:
+        """Accumulate busy wall time of one NUMA domain's workers."""
+        self.domain_times[domain] = self.domain_times.get(domain, 0.0) + float(
             seconds
         )
 
@@ -268,6 +280,8 @@ def save_trace(trace: WorkTrace, path) -> None:
         "times": trace.times,
         "n_ganesh_runs": trace.n_ganesh_runs,
         "worker_times": trace.worker_times,
+        "domain_times": trace.domain_times,
+        "topology": trace.topology,
         "steps": [
             {
                 "phase": s.phase,
@@ -294,6 +308,10 @@ def load_trace(path) -> WorkTrace:
         trace.worker_times = {
             k: float(v) for k, v in meta.get("worker_times", {}).items()
         }
+        trace.domain_times = {
+            k: float(v) for k, v in meta.get("domain_times", {}).items()
+        }
+        trace.topology = meta.get("topology")
         for i, step in enumerate(meta["steps"]):
             trace.steps.append(
                 TraceStep(

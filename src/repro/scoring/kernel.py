@@ -48,10 +48,48 @@ import numpy as np
 from repro.rng.streams import SCORE_QUANTUM
 
 #: Default bound on the element count of one evaluation temporary
-#: (``chunk_rows * n_obs`` float64 values, ~2 MiB).
+#: (``chunk_rows * n_obs`` float64 values, ~2 MiB) when the machine's
+#: cache hierarchy is unknown; see :func:`configured_chunk_elements`.
 DEFAULT_CHUNK_ELEMENTS = 1 << 18
 
+_CONFIGURED_CHUNK_ELEMENTS: int | None = None
+
 _CAP: int | None = None
+
+
+def set_chunk_elements(n_elements: int | None) -> int | None:
+    """Install a process-wide default for evaluation-chunk sizing.
+
+    The executor calls this in every pool worker (and on its own serial
+    path) with the chunk size derived from the machine's probed L2/L3
+    capacity, so kernels constructed deep inside module learning pick the
+    topology-aware size without threading a parameter through every layer.
+    Returns the previous override so callers can restore it; ``None``
+    reverts to lazy machine probing.
+    """
+    global _CONFIGURED_CHUNK_ELEMENTS
+    previous = _CONFIGURED_CHUNK_ELEMENTS
+    _CONFIGURED_CHUNK_ELEMENTS = None if n_elements is None else int(n_elements)
+    return previous
+
+
+def configured_chunk_elements() -> int:
+    """The active default bound for one evaluation temporary.
+
+    An explicit :func:`set_chunk_elements` override wins; otherwise the
+    machine topology is probed once (falling back to the flat model and
+    therefore :data:`DEFAULT_CHUNK_ELEMENTS` when sysfs is unavailable)
+    and the L2/L3-derived size is cached.  Chunk size can never change
+    scores — rows are evaluated independently and summed per row — so
+    this is purely a cache-locality knob.
+    """
+    global _CONFIGURED_CHUNK_ELEMENTS
+    if _CONFIGURED_CHUNK_ELEMENTS is None:
+        # Lazy import: repro.parallel pulls in the engine/learner stack.
+        from repro.parallel.topology import chunk_elements_for, probe_topology
+
+        _CONFIGURED_CHUNK_ELEMENTS = chunk_elements_for(probe_topology())
+    return _CONFIGURED_CHUNK_ELEMENTS
 
 
 class AllocationCapExceeded(MemoryError):
@@ -179,7 +217,7 @@ class LazySplitKernel:
             raise ValueError("sign must have one entry per observation")
         self.n_items = self.n_parents * self.n_obs
         self._n_beta = self.beta_grid.size
-        self.max_chunk_elements = int(max_chunk_elements or DEFAULT_CHUNK_ELEMENTS)
+        self.max_chunk_elements = int(max_chunk_elements or configured_chunk_elements())
         guard_alloc(self.n_items, "parent-value slice")
 
         # Group candidates by (parent row, value): duplicates share a row of

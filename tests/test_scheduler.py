@@ -9,6 +9,7 @@ from repro.parallel.scheduler import (
     grouped_schedule,
     imbalance_sweep,
     lpt_schedule,
+    placement_lpt_schedule,
 )
 
 
@@ -131,3 +132,55 @@ class TestImbalanceSweep:
     def test_keys_are_processor_counts(self):
         sweep = imbalance_sweep(np.ones(100), [2, 4])
         assert set(sweep) == {2, 4}
+
+
+class TestPlacementLpt:
+    def _placement(self, domains, n_workers):
+        from repro.parallel.topology import MachineTopology, plan_placement
+
+        topology = MachineTopology(
+            numa_domains=tuple(tuple(range(i * 4, i * 4 + c)) for i, c in enumerate(domains)),
+            source="sysfs",
+        )
+        return plan_placement(topology, n_workers)
+
+    def test_covers_all_work(self):
+        costs, sizes = _skewed_workload(3)
+        result = placement_lpt_schedule(costs, sizes, self._placement((4, 4), 8))
+        assert result.per_rank.size == 8
+        assert result.scheme == "placement-lpt"
+        # Remote penalties inflate effective work, so total >= raw sum.
+        assert result.per_rank.sum() >= costs.sum() - 1e-9
+
+    def test_flat_placement_degenerates_to_lpt(self):
+        costs, sizes = _skewed_workload(4)
+        placement = self._placement((8,), 8)
+        with_placement = placement_lpt_schedule(costs, sizes, placement)
+        plain = lpt_schedule(costs, sizes, 8)
+        np.testing.assert_allclose(
+            np.sort(with_placement.per_rank), np.sort(plain.per_rank)
+        )
+
+    def test_no_penalty_matches_plain_lpt_makespan(self):
+        costs, sizes = _skewed_workload(5)
+        placement = self._placement((4, 4), 8)
+        result = placement_lpt_schedule(costs, sizes, placement, remote_penalty=1.0)
+        plain = lpt_schedule(costs, sizes, 8)
+        assert result.makespan == pytest.approx(plain.makespan)
+
+    def test_penalty_steers_groups_home(self):
+        # Two domains, uniform groups: with a stiff penalty every group
+        # should land in its home domain and the schedule stays balanced.
+        sizes = np.full(16, 4, dtype=np.int64)
+        costs = np.ones(int(sizes.sum()))
+        placement = self._placement((4, 4), 4)
+        result = placement_lpt_schedule(costs, sizes, placement, remote_penalty=10.0)
+        assert result.makespan == pytest.approx(costs.sum() / 4)
+
+    def test_rejects_bad_inputs(self):
+        costs, sizes = _skewed_workload(6)
+        placement = self._placement((4, 4), 4)
+        with pytest.raises(ValueError):
+            placement_lpt_schedule(costs, sizes[:-1], placement)
+        with pytest.raises(ValueError):
+            placement_lpt_schedule(costs, sizes, placement, remote_penalty=0.5)
