@@ -16,11 +16,13 @@ module-structured expression data.
 
 Every learning subcommand takes the same parallel knobs: ``--workers W``
 (0 = all cores the affinity mask allows) runs the persistent shared-memory
-task-pool executor, and ``--topology {auto,flat}`` selects the machine
+task-pool executor, ``--topology {auto,flat}`` selects the machine
 model — ``auto`` probes NUMA domains and cache sizes from sysfs and pins
-workers accordingly, ``flat`` forces the single-domain fallback.  Both
-settings are pure placement: the learned network is bit-identical either
-way.  (``--parallel`` is retained as a hidden alias of ``--workers``.)
+workers accordingly, ``flat`` forces the single-domain fallback — and
+``--no-steal`` disables the domain-affine work queues (idle workers
+stealing from the most-loaded foreign NUMA domain) that multi-domain
+dynamic dispatch uses by default.  All of these are pure placement: the
+learned network is bit-identical whatever the setting.
 """
 
 from __future__ import annotations
@@ -63,9 +65,6 @@ def build_parser() -> argparse.ArgumentParser:
     learn.add_argument("--sampling-steps", type=int, default=10,
                        help="max discrete sampling steps per split (S)")
     _add_executor_args(learn)
-    # Historical spelling of --workers on this subcommand; hidden alias.
-    learn.add_argument("--parallel", type=int, dest="workers", metavar="P",
-                       default=argparse.SUPPRESS, help=argparse.SUPPRESS)
     learn.add_argument("--checkpoint-dir", default=None,
                        help="resume/continue directory: task 1 writes "
                             "ganesh_<g>.npz, task 3 module_<id>.json")
@@ -161,6 +160,11 @@ def _add_topology_arg(parser: argparse.ArgumentParser) -> None:
                              "sizes from sysfs and pin workers (auto), or "
                              "force the flat single-domain fallback (flat); "
                              "placement only — results are bit-identical")
+    parser.add_argument("--no-steal", action="store_true",
+                        help="disable domain-affine work queues with "
+                             "cross-domain stealing on multi-domain dynamic "
+                             "dispatch (placement only — results are "
+                             "bit-identical)")
 
 
 def _parallel_config(args: argparse.Namespace) -> ParallelConfig:
@@ -171,6 +175,7 @@ def _parallel_config(args: argparse.Namespace) -> ParallelConfig:
         schedule=getattr(args, "schedule", "dynamic"),
         checkpoint_dir=getattr(args, "checkpoint_dir", None),
         topology=getattr(args, "topology", "auto"),
+        steal=not getattr(args, "no_steal", False),
     )
 
 

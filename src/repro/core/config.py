@@ -2,38 +2,11 @@
 
 from __future__ import annotations
 
-import sys
-import warnings
-from dataclasses import InitVar, dataclass, field, replace
+from dataclasses import dataclass, field, replace
 from typing import Sequence
 
 from repro.scoring.normal_gamma import DEFAULT_PRIOR, NormalGammaPrior
 from repro.scoring.split_score import DEFAULT_BETA_GRID
-
-# One DeprecationWarning per (deprecated field, calling module): loud
-# enough to surface in every affected codebase, quiet enough not to spam
-# a loop that reads ``config.n_workers`` per module.
-_WARNED_DEPRECATIONS: set[tuple[str, str]] = set()
-
-
-def _warn_deprecated(owner: str, old: str, new: str, *, stacklevel: int) -> None:
-    caller = sys._getframe(stacklevel - 1)
-    module = caller.f_globals.get("__name__", "<unknown>")
-    key = (f"{owner}.{old}", module)
-    if key in _WARNED_DEPRECATIONS:
-        return
-    _WARNED_DEPRECATIONS.add(key)
-    warnings.warn(
-        f"{owner}.{old} is deprecated; use {owner}.{new} "
-        f"(e.g. {owner}(parallel=ParallelConfig(...)))",
-        DeprecationWarning,
-        stacklevel=stacklevel,
-    )
-
-
-def _reset_deprecation_warnings() -> None:
-    """Forget which call sites were already warned (test helper)."""
-    _WARNED_DEPRECATIONS.clear()
 
 
 @dataclass(frozen=True)
@@ -57,6 +30,13 @@ class ParallelConfig:
     #: dispatch: "static" contiguous blocks or "dynamic" queue pulling
     #: (largest-module-first in module mode)
     schedule: str = "dynamic"
+    #: dynamic dispatch locality: with multiple NUMA domains, feed each
+    #: domain its own affine work queue and let idle workers steal from
+    #: the most-loaded foreign domain (``True``, the default); ``False``
+    #: keeps the single shared queue.  Pure placement — results are
+    #: bit-identical either way, and single-domain (flat) machines take
+    #: the shared-queue path regardless.
+    steal: bool = True
     #: default checkpoint directory for ``learn(checkpoint_dir=...)``
     #: (the explicit argument wins when both are given)
     checkpoint_dir: str | None = None
@@ -73,6 +53,8 @@ class ParallelConfig:
             raise ValueError("mode must be 'auto', 'module' or 'split'")
         if self.schedule not in ("static", "dynamic"):
             raise ValueError("schedule must be 'static' or 'dynamic'")
+        if not isinstance(self.steal, bool):
+            raise ValueError("steal must be a bool")
         topology = self.topology
         if isinstance(topology, str):
             if topology not in ("auto", "flat"):
@@ -106,14 +88,6 @@ class ParallelConfig:
         from repro.parallel.topology import resolve_topology
 
         return resolve_topology(self.topology)
-
-
-#: (deprecated flat field, ParallelConfig field) pairs shimmed on LearnerConfig
-_LEARNER_KNOBS = (
-    ("n_workers", "n_workers"),
-    ("parallel_mode", "mode"),
-    ("schedule", "schedule"),
-)
 
 
 @dataclass(frozen=True)
@@ -160,24 +134,13 @@ class LearnerConfig:
 
     # -- execution backend (persistent task-pool executor) ----------------
     parallel: ParallelConfig = field(default_factory=ParallelConfig)
-    #: deprecated flat aliases for ``parallel.n_workers`` /
-    #: ``parallel.mode`` / ``parallel.schedule`` — still accepted (and
-    #: readable via the same-named properties below) for one release
-    n_workers: InitVar[int | None] = None
-    parallel_mode: InitVar[str | None] = None
-    schedule: InitVar[str | None] = None
 
     # -- shared -----------------------------------------------------------
     prior: NormalGammaPrior = field(default_factory=lambda: DEFAULT_PRIOR)
     #: RNG backend: "philox" (default) or "mrg"
     rng_backend: str = "philox"
 
-    def __post_init__(
-        self,
-        n_workers: int | None,
-        parallel_mode: str | None,
-        schedule: str | None,
-    ) -> None:
+    def __post_init__(self) -> None:
         if self.n_ganesh_runs < 1:
             raise ValueError("n_ganesh_runs must be at least 1")
         if self.n_update_steps < 1:
@@ -196,31 +159,6 @@ class LearnerConfig:
             raise ValueError("rng_backend must be 'philox' or 'mrg'")
         if not isinstance(self.parallel, ParallelConfig):
             raise ValueError("parallel must be a ParallelConfig")
-        overrides = {}
-        for (old, new), value in zip(_LEARNER_KNOBS, (n_workers, parallel_mode, schedule)):
-            if value is not None:
-                _warn_deprecated("LearnerConfig", old, f"parallel.{new}", stacklevel=4)
-                overrides[new] = value
-        if overrides:
-            # replace() revalidates through ParallelConfig.__post_init__.
-            object.__setattr__(self, "parallel", replace(self.parallel, **overrides))
-
-    def __setstate__(self, state: dict) -> None:
-        # Pickles written before the ParallelConfig consolidation carry
-        # the flat knobs; fold them into the embedded config so the
-        # class-level deprecation properties don't shadow stale entries.
-        state = dict(state)
-        if "parallel" not in state:
-            overrides = {
-                new: state.pop(old)
-                for old, new in _LEARNER_KNOBS
-                if old in state
-            }
-            state["parallel"] = ParallelConfig(**overrides)
-        else:
-            for old, _ in _LEARNER_KNOBS:
-                state.pop(old, None)
-        self.__dict__.update(state)
 
     def resolve_init_clusters(self, n_vars: int) -> int:
         """The initial variable-cluster count K0 for ``n_vars`` variables."""
@@ -249,37 +187,8 @@ class LearnerConfig:
         return tuple(self.candidate_parents)
 
     def with_updates(self, **changes) -> "LearnerConfig":
-        """A copy with the given fields replaced.
-
-        The deprecated flat knobs are accepted here too and fold onto the
-        embedded ``parallel`` config (warning once per call site).
-        """
-        overrides = {}
-        for old, new in _LEARNER_KNOBS:
-            if old in changes:
-                _warn_deprecated("LearnerConfig", old, f"parallel.{new}", stacklevel=3)
-                overrides[new] = changes.pop(old)
-        if overrides:
-            base = changes.get("parallel", self.parallel)
-            changes["parallel"] = replace(base, **overrides)
-        # replace() refuses unspecified InitVar fields; None means unset.
-        return replace(self, n_workers=None, parallel_mode=None, schedule=None, **changes)
-
-
-def _deprecated_knob(owner: str, old: str, new: str) -> property:
-    def fget(self):
-        _warn_deprecated(owner, old, f"parallel.{new}", stacklevel=3)
-        return getattr(self.parallel, new)
-
-    fget.__doc__ = f"Deprecated alias for ``parallel.{new}``."
-    return property(fget)
-
-
-# Attached after class creation: a property in the class body would be
-# mistaken for the dataclass field default.
-for _old, _new in _LEARNER_KNOBS:
-    setattr(LearnerConfig, _old, _deprecated_knob("LearnerConfig", _old, _new))
-del _old, _new
+        """A copy with the given fields replaced."""
+        return replace(self, **changes)
 
 
 def parents_from_names(names: Sequence[str], var_names: Sequence[str]) -> tuple[int, ...]:

@@ -27,16 +27,11 @@ fixed-point/iteration cap terminates the loop, as in GENOMICA.
 from __future__ import annotations
 
 import time
-from dataclasses import InitVar, dataclass, field
+from dataclasses import dataclass, field
 
 import numpy as np
 
-from repro.core.config import (
-    LearnerConfig,
-    ParallelConfig,
-    _deprecated_knob,
-    _warn_deprecated,
-)
+from repro.core.config import LearnerConfig, ParallelConfig
 from repro.datatypes import ExpressionMatrix, Module, ModuleNetwork, Split
 from repro.ganesh.coclustering import SweepHooks, run_obs_only_ganesh
 from repro.rng.streams import GibbsRandom, make_stream
@@ -68,10 +63,8 @@ class GenomicaConfig:
     #: bit-identical output because each task consumes only its own named
     #: stream)
     parallel: ParallelConfig = field(default_factory=ParallelConfig)
-    #: deprecated flat alias for ``parallel.n_workers``
-    n_workers: InitVar[int | None] = None
 
-    def __post_init__(self, n_workers: int | None) -> None:
+    def __post_init__(self) -> None:
         if self.n_modules < 1:
             raise ValueError("n_modules must be at least 1")
         if self.max_iterations < 1:
@@ -80,32 +73,6 @@ class GenomicaConfig:
             raise ValueError("tree_update_steps must be at least 1")
         if not isinstance(self.parallel, ParallelConfig):
             raise ValueError("parallel must be a ParallelConfig")
-        if n_workers is not None:
-            _warn_deprecated(
-                "GenomicaConfig", "n_workers", "parallel.n_workers", stacklevel=4
-            )
-            from dataclasses import replace
-
-            object.__setattr__(
-                self, "parallel", replace(self.parallel, n_workers=n_workers)
-            )
-
-    def __setstate__(self, state: dict) -> None:
-        # Migrate pickles from before the ParallelConfig consolidation.
-        state = dict(state)
-        if "parallel" not in state:
-            overrides = (
-                {"n_workers": state.pop("n_workers")} if "n_workers" in state else {}
-            )
-            state["parallel"] = ParallelConfig(**overrides)
-        else:
-            state.pop("n_workers", None)
-        self.__dict__.update(state)
-
-
-# Attached after class creation: a property in the class body would be
-# mistaken for the dataclass field default.
-GenomicaConfig.n_workers = _deprecated_knob("GenomicaConfig", "n_workers", "n_workers")
 
 
 @dataclass

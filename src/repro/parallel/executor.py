@@ -189,6 +189,7 @@ def _executor_init(
     flush_barrier=None,
     placement=None,
     kernel_chunk_elements=None,
+    steal_shared=None,
 ):
     """Pool initializer: attach the matrix once, install worker state.
 
@@ -205,8 +206,17 @@ def _executor_init(
 
     ``kernel_chunk_elements`` installs the topology-derived default for
     :class:`repro.scoring.kernel.LazySplitKernel` evaluation chunks in
-    this worker process.  Neither pinning nor chunk sizing can change any
-    score — see :mod:`repro.parallel.topology`.
+    this worker process; with a placement plan the worker derives its
+    *own domain's* chunk size instead (``Placement.chunk_elements``) so
+    heterogeneous machines size each worker's temporaries for the caches
+    it actually runs on — identical to the machine-wide value on any
+    single-domain topology.  Neither pinning nor chunk sizing can change
+    any score — see :mod:`repro.parallel.topology`.
+
+    ``steal_shared`` is the domain-affine queue scaffolding
+    ``(queues, pending, lock)`` created by the executor when stealing is
+    possible (see :meth:`TaskPoolExecutor.submit_runs`); ``None`` on flat
+    machines, which therefore take the exact shared-queue code path.
 
     With a checkpoint directory, each worker also starts an
     :class:`AsyncCheckpointWriter` so checkpoint serialization never stalls
@@ -222,9 +232,11 @@ def _executor_init(
     if placement is not None:
         domain = placement.domain_of(worker_index)
         pin_to(placement.worker_cpus(worker_index))
-    _STATE["domain"] = domain
-    if kernel_chunk_elements is not None:
+        kernel_mod.set_chunk_elements(placement.chunk_elements(worker_index))
+    elif kernel_chunk_elements is not None:
         kernel_mod.set_chunk_elements(kernel_chunk_elements)
+    _STATE["domain"] = domain
+    _STATE["steal"] = steal_shared
     shm, data = _attach_shared(matrix_spec)
     pool_mod._init_worker(data, parents, config, seed)
     _STATE["shm"] = shm  # keep the mapping alive for the worker's lifetime
@@ -293,6 +305,52 @@ def _generic_run(payload):
         result,
         os.getpid(),
         _STATE.get("domain", 0),
+        time.perf_counter() - t0,
+    )
+
+
+def _steal_run(queue_timeout):
+    """Pool entry point of the domain-affine steal dispatch.
+
+    The driver enqueues every work item on its home domain's queue before
+    dispatching one of these lightweight triggers per item; each trigger
+    *reserves* exactly one item under the shared lock — from this worker's
+    home domain while its ``pending`` count is positive, otherwise from
+    the most-loaded foreign domain (a steal) — then drains the reserved
+    payload from that domain's queue and runs it.  Reservation counts
+    guarantee a queue is never over-drained, so any worker can empty any
+    domain's queue: a victim domain whose worker died is drained by its
+    siblings rather than deadlocking.
+
+    Returns ``(index, result, pid, worker_domain, item_home_domain,
+    stolen, seconds)``; ``None`` when every reservation is already taken —
+    only possible after a sibling crashed between reserving and returning,
+    in which case the driver's crash polling raises
+    :class:`WorkerCrashedError` anyway.
+    """
+    queues, pending, lock = _STATE["steal"]
+    my_domain = _STATE.get("domain", 0)
+    with lock:
+        if pending[my_domain] > 0:
+            domain = my_domain
+        else:
+            domain, best = -1, 0
+            for d in range(len(queues)):
+                if pending[d] > best:
+                    domain, best = d, pending[d]
+            if domain < 0:
+                return None
+        pending[domain] -= 1
+    fn, index, item, home = queues[domain].get(timeout=queue_timeout)
+    t0 = time.perf_counter()
+    result = fn(_worker_ctx(), item)
+    return (
+        index,
+        result,
+        os.getpid(),
+        my_domain,
+        home,
+        domain != my_domain,
         time.perf_counter() - t0,
     )
 
@@ -545,6 +603,11 @@ class ExecutorStats:
     tasks_dispatched: int = 0
     mode: str = ""
     n_workers: int = 1
+    #: cross-domain steals: tasks an idle worker drained from a foreign
+    #: NUMA domain's affine queue (always 0 on flat machines)
+    steals: int = 0
+    #: busy seconds spent on stolen tasks
+    stolen_seconds: float = 0.0
 
 
 # -- the executor -----------------------------------------------------------
@@ -590,6 +653,7 @@ class TaskPoolExecutor:
         checkpoint_dir=None,
         mp_context: str | None = None,
         crash_poll_seconds: float = 5.0,
+        steal: bool | None = None,
     ) -> None:
         self.data = np.ascontiguousarray(data, dtype=np.float64)
         self.parents = np.asarray(parents, dtype=np.int64)
@@ -600,6 +664,7 @@ class TaskPoolExecutor:
         )
         self.parallel_mode = parallel_mode or config.parallel.mode
         self.schedule = schedule or config.parallel.schedule
+        self.steal = config.parallel.steal if steal is None else bool(steal)
         if self.schedule not in ("static", "dynamic"):
             raise ValueError("schedule must be 'static' or 'dynamic'")
         if self.parallel_mode not in ("auto", "module", "split"):
@@ -628,6 +693,10 @@ class TaskPoolExecutor:
         self._prev_chunk_elements: int | None | bool = False  # False = unset
         self._flush_barrier = None
         self._flush_timeout = 30.0
+        #: (queues, pending, lock) domain-affine steal scaffolding; created
+        #: with the pool when stealing is possible, None on flat machines
+        self._steal_shared = None
+        self._steal_queue_timeout = 60.0
 
     # -- lifecycle ---------------------------------------------------------
     def __enter__(self) -> "TaskPoolExecutor":
@@ -646,12 +715,19 @@ class TaskPoolExecutor:
         """
         pool, self._pool = self._pool, None
         shared, self._shared = self._shared, None
+        steal_shared, self._steal_shared = self._steal_shared, None
         try:
             if pool is not None:
                 self._drain_checkpoint_writers(pool)
                 pool.terminate()
                 pool.join()
         finally:
+            if steal_shared is not None:
+                # Stranded payloads (a crashed dispatch) must not keep the
+                # queue feeder threads alive past the executor.
+                for queue in steal_shared[0]:
+                    queue.cancel_join_thread()
+                    queue.close()
             if shared is not None:
                 shared.close()
             if self._serial_ready:
@@ -709,6 +785,13 @@ class TaskPoolExecutor:
                 if self.checkpoint_dir is not None
                 else None
             )
+            if self._steal_possible():
+                n_domains = self.placement.topology.n_domains
+                self._steal_shared = (
+                    [ctx.Queue() for _ in range(n_domains)],
+                    ctx.Array("l", n_domains, lock=False),  # guarded by the lock
+                    ctx.Lock(),
+                )
             self._pool = ctx.Pool(
                 self.n_workers,
                 initializer=_executor_init,
@@ -722,10 +805,23 @@ class TaskPoolExecutor:
                     self._flush_barrier,
                     self.placement,
                     self.kernel_chunk_elements,
+                    self._steal_shared,
                 ),
             )
             self._expected_inits = self.n_workers
         return self._pool
+
+    def _steal_possible(self) -> bool:
+        """Whether any dispatch of this executor may use domain-affine
+        queues — multiple workers on multiple NUMA domains with the steal
+        knob on.  Flat machines never qualify, so they build none of the
+        steal scaffolding and every dispatch takes the exact shared-queue
+        code path."""
+        return (
+            self.steal
+            and self.n_workers > 1
+            and self.placement.topology.n_domains > 1
+        )
 
     def _apply_kernel_chunk(self) -> None:
         """Install the topology-derived kernel chunk size in this process.
@@ -774,6 +870,7 @@ class TaskPoolExecutor:
         schedule: str | None = None,
         chunksize: int | None = None,
         trace=None,
+        home_domains=None,
     ):
         """Run ``fn(ctx, item)`` for every item on the persistent pool.
 
@@ -785,10 +882,22 @@ class TaskPoolExecutor:
 
         ``schedule`` defaults to the executor's: ``dynamic`` pulls items
         one at a time from a shared queue (``imap_unordered``), ``static``
-        maps contiguous equal-count chunks.  Worker busy seconds land in
-        ``trace.worker_times`` when a trace is given.  A worker process
-        dying mid-run raises :class:`WorkerCrashedError`; an exception
-        *raised* by ``fn`` propagates as itself.
+        maps contiguous equal-count chunks.  With the steal knob on and a
+        multi-domain placement, dynamic dispatch instead feeds each NUMA
+        domain its own affine queue (items land on their home domain, in
+        dispatch order) and idle workers steal from the most-loaded
+        foreign domain; ``home_domains`` optionally names each item's home
+        domain (aligned with ``items``), defaulting to a balanced spread
+        over the worker plan.  Steals are recorded in ``trace``
+        (``worker_steals`` / ``worker_stolen_seconds`` / per-domain
+        locality) and :attr:`stats`.  Stealing only moves work between
+        workers — results are bit-identical because they are reassembled
+        by item index.
+
+        Worker busy seconds land in ``trace.worker_times`` when a trace is
+        given.  A worker process dying mid-run raises
+        :class:`WorkerCrashedError`; an exception *raised* by ``fn``
+        propagates as itself.
         """
         items = list(items)
         if not items:
@@ -798,8 +907,6 @@ class TaskPoolExecutor:
         if self.dispatch_order_hook is not None:
             order = list(self.dispatch_order_hook(order))
         results: list = [None] * len(items)
-        busy: dict[int, float] = {}
-        domain_busy: dict[int, float] = {}
 
         if self.n_workers <= 1:
             ctx = self._serial_ctx()
@@ -808,6 +915,14 @@ class TaskPoolExecutor:
             return results
 
         pool = self._ensure_pool()
+        if schedule == "dynamic" and self._steal_shared is not None:
+            raw = self._dispatch_steal(pool, fn, order, items, home_domains)
+            self.stats.tasks_dispatched += len(order)
+            self._reduce_steal_results(raw, results, trace)
+            return results
+
+        busy: dict[int, float] = {}
+        domain_busy: dict[int, float] = {}
         payloads = [(fn, index, items[index]) for index in order]
         if schedule == "static":
             cs = chunksize or max(1, math.ceil(len(payloads) / self.n_workers))
@@ -824,6 +939,117 @@ class TaskPoolExecutor:
         if trace is not None:
             self._record_worker_times(trace, busy, domain_busy)
         return results
+
+    # -- domain-affine steal dispatch ---------------------------------------
+    def _dispatch_steal(self, pool, fn, order, items, home_domains):
+        """Enqueue items on their home domains' queues, trigger the pool.
+
+        Every item is enqueued before any trigger dispatches, and the
+        shared ``pending`` counts advance under the lock only after the
+        payloads are queued — a trigger therefore always finds the payload
+        it reserved.  One trigger per item keeps the crash accounting of
+        the shared-queue path: a worker dying mid-task strands exactly its
+        reserved items, the result iterator stops short, and the standard
+        init-counter polling raises :class:`WorkerCrashedError`.
+        """
+        queues, pending, lock = self._steal_shared
+        counts = [0] * len(queues)
+        if home_domains is None:
+            spread = self.placement.spread_domains(len(order))
+            homes = {index: spread[pos] for pos, index in enumerate(order)}
+        else:
+            homes = {index: int(home_domains[index]) for index in order}
+        for index in order:
+            domain = homes[index]
+            queues[domain].put((fn, index, items[index], domain))
+            counts[domain] += 1
+        with lock:
+            for domain, count in enumerate(counts):
+                pending[domain] += count
+        it = pool.imap_unordered(
+            _steal_run, [self._steal_queue_timeout] * len(order), chunksize=1
+        )
+        try:
+            return self._collect_steal_aware(it, len(order))
+        except WorkerCrashedError:
+            self._reset_steal()
+            raise
+
+    def _collect_steal_aware(self, it, n_expected: int) -> list:
+        """Crash-aware collection of steal-trigger results.
+
+        ``None`` results mark triggers that found every reservation taken
+        (a sibling reserved an item and died before returning it); they
+        never add up to ``n_expected``, so the exhausted iterator — or the
+        init-counter overshoot the timeout polling sees first — surfaces
+        the crash instead of a hang.
+        """
+        out: list = []
+        seen = 0
+        while len(out) < n_expected:
+            if seen >= n_expected:
+                raise WorkerCrashedError(
+                    "steal dispatch lost work items to a crashed worker; "
+                    "completed checkpoints remain valid — re-run to resume"
+                )
+            try:
+                result = it.next(timeout=self.crash_poll_seconds)
+            except _MpTimeoutError:
+                self._check_workers_alive()
+                continue
+            seen += 1
+            if result is not None:
+                out.append(result)
+        return out
+
+    def _reset_steal(self) -> None:
+        """Drain stranded payloads after a crashed steal dispatch.
+
+        Restores the queues/pending invariant (both empty) so a retry on
+        the same executor starts clean rather than reserving ghosts.
+        """
+        import queue as queue_mod
+
+        queues, pending, lock = self._steal_shared
+        with lock:
+            for domain in range(len(queues)):
+                pending[domain] = 0
+        for q in queues:
+            while True:
+                try:
+                    q.get_nowait()
+                except (queue_mod.Empty, OSError, ValueError):
+                    break
+
+    def _reduce_steal_results(self, raw, results, trace) -> None:
+        busy: dict[int, float] = {}
+        domain_busy: dict[int, float] = {}
+        steals: dict[int, int] = {}
+        stolen_secs: dict[int, float] = {}
+        local_by_domain: dict[int, float] = {}
+        stolen_by_domain: dict[int, float] = {}
+        for index, result, pid, domain, home, stolen, secs in raw:
+            results[index] = result
+            busy[pid] = busy.get(pid, 0.0) + secs
+            domain_busy[domain] = domain_busy.get(domain, 0.0) + secs
+            if stolen:
+                steals[pid] = steals.get(pid, 0) + 1
+                stolen_secs[pid] = stolen_secs.get(pid, 0.0) + secs
+                stolen_by_domain[home] = stolen_by_domain.get(home, 0.0) + secs
+                self.stats.steals += 1
+                self.stats.stolen_seconds += secs
+            else:
+                local_by_domain[home] = local_by_domain.get(home, 0.0) + secs
+        if trace is not None:
+            self._record_worker_times(
+                trace,
+                busy,
+                domain_busy,
+                steals=steals,
+                stolen_secs=stolen_secs,
+                local_by_domain=local_by_domain,
+                stolen_by_domain=stolen_by_domain,
+            )
 
     def _check_workers_alive(self) -> None:
         """Raise if the pool replaced a dead worker since the last check.
@@ -905,6 +1131,7 @@ class TaskPoolExecutor:
         steps = np.zeros(total, dtype=np.int64)
         accepted = np.zeros(total, dtype=bool)
 
+        home_domains = None
         if self.n_workers <= 1 or total == 0:
             work_items, chunksize = tasks, None
         elif self.schedule == "static":
@@ -922,8 +1149,22 @@ class TaskPoolExecutor:
                 bounds=self.placement.chunk_bounds(total, 4),
             )
             chunksize = 1
+            if self._steal_possible():
+                # Each chunk's home is the domain whose contiguous block of
+                # the flat split range (the first-touched pages) holds it.
+                home_domains = self._range_homes(
+                    [
+                        (t.out_offset, t.out_offset + (t.row1 - t.row0))
+                        for t in work_items
+                    ],
+                    total,
+                )
         results = self.submit_runs(
-            _score_chunk_run, work_items, chunksize=chunksize, trace=trace
+            _score_chunk_run,
+            work_items,
+            chunksize=chunksize,
+            trace=trace,
+            home_domains=home_domains,
         )
 
         for offset, sc, st, ac in results:
@@ -932,16 +1173,47 @@ class TaskPoolExecutor:
             accepted[offset : offset + ac.size] = ac
         return log_scores, steps, accepted
 
+    def _range_homes(self, ranges, total: int) -> list[int]:
+        """Home domain per ``[lo, hi)`` range of a flat work index: the
+        domain whose contiguous block contains the range midpoint (the
+        same rule as ``placement_lpt_schedule`` / ``placement_steal_schedule``)."""
+        blocks = self.placement.domain_blocks(total)
+        homes: list[int] = []
+        for lo, hi in ranges:
+            mid = (lo + hi) // 2
+            homes.append(
+                next((d for d, (a, b) in enumerate(blocks) if a <= mid < b), 0)
+            )
+        return homes
+
     def _record_worker_times(
         self,
         trace,
         busy: dict[int, float],
         domain_busy: dict[int, float] | None = None,
+        steals: dict[int, int] | None = None,
+        stolen_secs: dict[int, float] | None = None,
+        local_by_domain: dict[int, float] | None = None,
+        stolen_by_domain: dict[int, float] | None = None,
     ) -> None:
         for index, pid in enumerate(sorted(busy)):
             trace.mark_worker_time(f"worker-{index}", busy[pid])
+            if steals and pid in steals:
+                trace.mark_steal(
+                    f"worker-{index}",
+                    steals[pid],
+                    (stolen_secs or {}).get(pid, 0.0),
+                )
         for domain in sorted(domain_busy or ()):
             trace.mark_domain_time(f"node{domain}", domain_busy[domain])
+        for domain in sorted(local_by_domain or ()):
+            trace.mark_domain_locality(
+                f"node{domain}", local_by_domain[domain], stolen=False
+            )
+        for domain in sorted(stolen_by_domain or ()):
+            trace.mark_domain_locality(
+                f"node{domain}", stolen_by_domain[domain], stolen=True
+            )
         if trace.topology is None:
             trace.topology = self.placement.describe()
 
@@ -1009,14 +1281,29 @@ class TaskPoolExecutor:
             for module_id, members in pending
         ]
         if self.schedule == "dynamic":
-            # Largest-module-first dispatch: greedy LPT via a shared queue.
+            # Largest-module-first dispatch: greedy LPT via a shared queue
+            # (per-domain LPT order once partitioned onto affine queues).
             items.sort(
                 key=lambda item: (
                     -estimate_module_cost(item[1], n_obs, self.config),
                     item[0],
                 )
             )
-        results = self.submit_runs(_module_run, items, trace=trace)
+        home_domains = None
+        if self.schedule == "dynamic" and self._steal_possible():
+            # A module's home is the domain whose block of the matrix rows
+            # (the pages it first-touched) holds the module's median member.
+            n_vars = self.data.shape[0]
+            home_domains = self._range_homes(
+                [
+                    (int(np.median(members)), int(np.median(members)) + 1)
+                    for _, members, _ in items
+                ],
+                n_vars,
+            )
+        results = self.submit_runs(
+            _module_run, items, trace=trace, home_domains=home_domains
+        )
 
         for module_id, module, steps in sorted(results):
             modules[module_id] = module

@@ -75,12 +75,20 @@ class MachineTopology:
     ``l3_bytes`` are per-core-visible capacities of the unified caches;
     ``0`` means unknown (the flat fallback), in which case every consumer
     keeps its pre-topology default.
+
+    ``domain_l2_bytes`` / ``domain_l3_bytes`` optionally carry *per-domain*
+    cache capacities (one entry per NUMA domain) for heterogeneous
+    machines — big.LITTLE or multi-die parts where each domain sees its
+    own L2/L3.  ``None`` means homogeneous: every domain falls back to
+    the machine-wide ``l2_bytes`` / ``l3_bytes``.
     """
 
     numa_domains: tuple[tuple[int, ...], ...]
     l2_bytes: int = 0
     l3_bytes: int = 0
     source: str = "flat"
+    domain_l2_bytes: tuple[int, ...] | None = None
+    domain_l3_bytes: tuple[int, ...] | None = None
 
     def __post_init__(self) -> None:
         if not self.numa_domains or not any(self.numa_domains):
@@ -89,6 +97,13 @@ class MachineTopology:
             raise ValueError("cache sizes must be non-negative")
         if self.source not in ("sysfs", "flat"):
             raise ValueError("source must be 'sysfs' or 'flat'")
+        for per_domain in (self.domain_l2_bytes, self.domain_l3_bytes):
+            if per_domain is None:
+                continue
+            if len(per_domain) != len(self.numa_domains):
+                raise ValueError("per-domain cache list must match domain count")
+            if any(size < 0 for size in per_domain):
+                raise ValueError("cache sizes must be non-negative")
 
     @property
     def n_domains(self) -> int:
@@ -97,6 +112,24 @@ class MachineTopology:
     @property
     def n_cores(self) -> int:
         return sum(len(d) for d in self.numa_domains)
+
+    def domain_caches(self, domain: int) -> tuple[int, int]:
+        """``(l2_bytes, l3_bytes)`` visible from one NUMA domain's cores.
+
+        Falls back to the machine-wide capacities when no per-domain
+        probe results are recorded (the homogeneous common case).
+        """
+        l2 = (
+            self.domain_l2_bytes[domain]
+            if self.domain_l2_bytes is not None
+            else self.l2_bytes
+        )
+        l3 = (
+            self.domain_l3_bytes[domain]
+            if self.domain_l3_bytes is not None
+            else self.l3_bytes
+        )
+        return l2, l3
 
     def describe(self) -> dict:
         """A JSON-serializable summary (recorded into work traces)."""
@@ -107,6 +140,16 @@ class MachineTopology:
             "domain_sizes": [len(d) for d in self.numa_domains],
             "l2_bytes": self.l2_bytes,
             "l3_bytes": self.l3_bytes,
+            "domain_l2_bytes": (
+                list(self.domain_l2_bytes)
+                if self.domain_l2_bytes is not None
+                else None
+            ),
+            "domain_l3_bytes": (
+                list(self.domain_l3_bytes)
+                if self.domain_l3_bytes is not None
+                else None
+            ),
         }
 
 
@@ -188,9 +231,17 @@ def probe_topology(sysfs_root: str | os.PathLike = "/sys") -> MachineTopology:
                 domains.append(cpus)
         if not domains:
             return flat_topology()
-        l2, l3 = _probe_caches(sysfs, domains[0][0])
+        # Probe caches from each domain's first CPU: on heterogeneous
+        # (big.LITTLE / multi-die) parts the domains see different L2/L3.
+        per_domain = [_probe_caches(sysfs, cpus[0]) for cpus in domains]
+        l2, l3 = per_domain[0]
         return MachineTopology(
-            numa_domains=tuple(domains), l2_bytes=l2, l3_bytes=l3, source="sysfs"
+            numa_domains=tuple(domains),
+            l2_bytes=l2,
+            l3_bytes=l3,
+            source="sysfs",
+            domain_l2_bytes=tuple(c[0] for c in per_domain),
+            domain_l3_bytes=tuple(c[1] for c in per_domain),
         )
     except (OSError, ValueError):
         return flat_topology()
@@ -211,8 +262,8 @@ def resolve_topology(spec) -> MachineTopology:
     raise ValueError(f"topology must be 'auto', 'flat' or a MachineTopology, got {spec!r}")
 
 
-def chunk_elements_for(topology: MachineTopology) -> int:
-    """The lazy split kernel's chunk size for this machine.
+def chunk_elements_for(topology: MachineTopology, domain: int | None = None) -> int:
+    """The lazy split kernel's chunk size for this machine (or one domain).
 
     One evaluation chunk is ``chunk_rows * n_obs`` float64 elements that
     are written once and immediately row-summed; keeping the chunk inside
@@ -222,12 +273,25 @@ def chunk_elements_for(topology: MachineTopology) -> int:
     pre-topology default, and the result is clamped to
     ``[MIN_CHUNK_ELEMENTS, MAX_CHUNK_ELEMENTS]`` and rounded down to a
     power of two for stable, comparable measurements.
+
+    With ``domain`` given, the budget comes from that NUMA domain's own
+    cache capacities and the L3 share is divided among *that domain's*
+    cores only — each socket's L3 is shared by its own cores, not the
+    whole machine.  On a single-domain topology (flat fallback included)
+    the per-domain result is identical to the machine-wide one, so flat
+    machines keep the exact pre-change chunk size.
     """
-    if topology.l2_bytes <= 0:
+    if domain is None or topology.n_domains <= 1:
+        l2, l3 = topology.l2_bytes, topology.l3_bytes
+        sharers = topology.n_cores
+    else:
+        l2, l3 = topology.domain_caches(domain)
+        sharers = len(topology.numa_domains[domain])
+    if l2 <= 0:
         return FLAT_CHUNK_ELEMENTS
-    budget = topology.l2_bytes // 2
-    if topology.l3_bytes > 0:
-        budget = min(budget, topology.l3_bytes // max(1, topology.n_cores))
+    budget = l2 // 2
+    if l3 > 0:
+        budget = min(budget, l3 // max(1, sharers))
     elements = max(1, budget // 8)  # float64
     elements = min(max(elements, MIN_CHUNK_ELEMENTS), MAX_CHUNK_ELEMENTS)
     return 1 << (elements.bit_length() - 1)
@@ -319,10 +383,37 @@ class Placement:
                 out.append((lo + a, lo + b))
         return out
 
+    def domain_chunk_elements(self) -> tuple[int, ...]:
+        """Kernel chunk size per NUMA domain (see :func:`chunk_elements_for`).
+
+        Shipped to workers through the executor's initializer so each
+        pinned worker sizes its :class:`repro.scoring.kernel.LazySplitKernel`
+        temporaries for *its own* domain's caches.
+        """
+        return tuple(
+            chunk_elements_for(self.topology, domain)
+            for domain in range(self.topology.n_domains)
+        )
+
+    def chunk_elements(self, worker_index: int) -> int:
+        """The kernel chunk size of one worker (its domain's)."""
+        return chunk_elements_for(self.topology, self.domain_of(worker_index))
+
+    def spread_domains(self, n_items: int) -> list[int]:
+        """Home domains for ``n_items`` queue items with no natural home.
+
+        Cycles through the worker->domain plan so each domain's affine
+        queue receives items in proportion to its worker count — the
+        balanced default for workloads (e.g. the G GaneSH chains) whose
+        items touch the whole matrix rather than a contiguous row block.
+        """
+        return [self.domain_of(i) for i in range(n_items)]
+
     def describe(self) -> dict:
         return {
             "topology": self.topology.describe(),
             "worker_domains": list(self.worker_domains),
+            "domain_chunk_elements": list(self.domain_chunk_elements()),
         }
 
 

@@ -72,6 +72,19 @@ class WorkTrace:
     #: measured busy wall seconds per NUMA domain ('node0', ...), recorded
     #: by the process executor when a placement plan is active
     domain_times: dict[str, float] = field(default_factory=dict)
+    #: cross-domain steals per executor worker ('worker-0', ...): tasks the
+    #: worker pulled from a foreign domain's affine queue because its home
+    #: queue was empty
+    worker_steals: dict[str, int] = field(default_factory=dict)
+    #: busy wall seconds each worker spent on *stolen* (foreign-domain)
+    #: tasks — the home/foreign split of ``worker_times``
+    worker_stolen_seconds: dict[str, float] = field(default_factory=dict)
+    #: busy seconds of each domain's *own* items executed by that domain's
+    #: workers ('node0', ...) — the locality hits
+    domain_local_times: dict[str, float] = field(default_factory=dict)
+    #: busy seconds of each domain's items executed by *foreign* workers —
+    #: the locality misses (stolen away)
+    domain_stolen_times: dict[str, float] = field(default_factory=dict)
     #: the executor's placement plan (``Placement.describe()``): machine
     #: topology plus the worker->domain map, for benchmark reports
     topology: dict | None = None
@@ -111,6 +124,48 @@ class WorkTrace:
         self.domain_times[domain] = self.domain_times.get(domain, 0.0) + float(
             seconds
         )
+
+    def mark_steal(self, worker: str, count: int, seconds: float) -> None:
+        """Accumulate one worker's cross-domain steals and stolen seconds."""
+        self.worker_steals[worker] = self.worker_steals.get(worker, 0) + int(count)
+        self.worker_stolen_seconds[worker] = self.worker_stolen_seconds.get(
+            worker, 0.0
+        ) + float(seconds)
+
+    def mark_domain_locality(self, domain: str, seconds: float, stolen: bool) -> None:
+        """Accumulate one domain's work seconds as local (home worker ran
+        the item) or stolen (a foreign worker drained it)."""
+        target = self.domain_stolen_times if stolen else self.domain_local_times
+        target[domain] = target.get(domain, 0.0) + float(seconds)
+
+    def total_steals(self) -> int:
+        """Cross-domain steals summed over all workers."""
+        return sum(self.worker_steals.values())
+
+    def locality_hit_rate(self) -> float:
+        """Fraction of work seconds executed in the items' home domain.
+
+        ``1.0`` when nothing was recorded (a flat run never steals and may
+        skip locality accounting entirely).
+        """
+        local = sum(self.domain_local_times.values())
+        stolen = sum(self.domain_stolen_times.values())
+        total = local + stolen
+        if total <= 0.0:
+            return 1.0
+        return local / total
+
+    def domain_locality(self) -> dict[str, float]:
+        """Per-domain locality hit rate (local / (local + stolen))."""
+        out: dict[str, float] = {}
+        for domain in sorted(
+            set(self.domain_local_times) | set(self.domain_stolen_times)
+        ):
+            local = self.domain_local_times.get(domain, 0.0)
+            stolen = self.domain_stolen_times.get(domain, 0.0)
+            total = local + stolen
+            out[domain] = local / total if total > 0.0 else 1.0
+        return out
 
     def worker_imbalance(self) -> float:
         """Measured (max - mean) / mean busy time across executor workers."""
@@ -281,6 +336,10 @@ def save_trace(trace: WorkTrace, path) -> None:
         "n_ganesh_runs": trace.n_ganesh_runs,
         "worker_times": trace.worker_times,
         "domain_times": trace.domain_times,
+        "worker_steals": trace.worker_steals,
+        "worker_stolen_seconds": trace.worker_stolen_seconds,
+        "domain_local_times": trace.domain_local_times,
+        "domain_stolen_times": trace.domain_stolen_times,
         "topology": trace.topology,
         "steps": [
             {
@@ -310,6 +369,18 @@ def load_trace(path) -> WorkTrace:
         }
         trace.domain_times = {
             k: float(v) for k, v in meta.get("domain_times", {}).items()
+        }
+        trace.worker_steals = {
+            k: int(v) for k, v in meta.get("worker_steals", {}).items()
+        }
+        trace.worker_stolen_seconds = {
+            k: float(v) for k, v in meta.get("worker_stolen_seconds", {}).items()
+        }
+        trace.domain_local_times = {
+            k: float(v) for k, v in meta.get("domain_local_times", {}).items()
+        }
+        trace.domain_stolen_times = {
+            k: float(v) for k, v in meta.get("domain_stolen_times", {}).items()
         }
         trace.topology = meta.get("topology")
         for i, step in enumerate(meta["steps"]):

@@ -69,7 +69,7 @@ class TestLearn:
         common = ["--input", str(matrix_file), "--seed", "5",
                   "--sampling-steps", "4"]
         main(["learn", *common, "--out-json", str(seq_path)])
-        main(["learn", *common, "--parallel", "3", "--out-json", str(par_path)])
+        main(["learn", *common, "--workers", "3", "--out-json", str(par_path)])
         assert network_from_json(seq_path.read_text()) == network_from_json(
             par_path.read_text()
         )

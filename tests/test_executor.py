@@ -14,7 +14,7 @@ The central contracts:
 import numpy as np
 import pytest
 
-from repro.core.config import LearnerConfig
+from repro.core.config import LearnerConfig, ParallelConfig
 from repro.core.learner import LemonTreeLearner
 from repro.datatypes import ModuleNetwork
 from repro.parallel import pool as pool_mod
@@ -53,7 +53,9 @@ class TestEquivalence:
     def test_network_bit_identical(self, setup, mode, n_workers, schedule):
         matrix, config, members, reference = setup
         cfg = config.with_updates(
-            n_workers=n_workers, parallel_mode=mode, schedule=schedule
+            parallel=ParallelConfig(
+                n_workers=n_workers, mode=mode, schedule=schedule
+            )
         )
         net = LemonTreeLearner(cfg).learn_from_modules(
             matrix, members, seed=5
@@ -62,7 +64,7 @@ class TestEquivalence:
 
     def test_auto_mode_bit_identical(self, setup):
         matrix, config, members, reference = setup
-        cfg = config.with_updates(n_workers=2, parallel_mode="auto")
+        cfg = config.with_updates(parallel=ParallelConfig(n_workers=2, mode="auto"))
         net = LemonTreeLearner(cfg).learn_from_modules(
             matrix, members, seed=5
         ).network
@@ -98,7 +100,7 @@ class TestCheckpoints:
             matrix, members, seed=5, checkpoint_dir=tmp_path
         )
         (tmp_path / "module_0.json").unlink()
-        cfg = config.with_updates(n_workers=2, parallel_mode="module")
+        cfg = config.with_updates(parallel=ParallelConfig(n_workers=2, mode="module"))
         net = LemonTreeLearner(cfg).learn_from_modules(
             matrix, members, seed=5, checkpoint_dir=tmp_path
         ).network
@@ -108,7 +110,7 @@ class TestCheckpoints:
         """In module mode the workers themselves checkpoint each completed
         module, so an interruption loses only the modules in flight."""
         matrix, config, members, reference = setup
-        cfg = config.with_updates(n_workers=2, parallel_mode="module")
+        cfg = config.with_updates(parallel=ParallelConfig(n_workers=2, mode="module"))
         LemonTreeLearner(cfg).learn_from_modules(
             matrix, members, seed=5, checkpoint_dir=tmp_path
         )
@@ -123,7 +125,7 @@ class TestCheckpoints:
 
     def test_split_mode_writes_checkpoints(self, setup, tmp_path):
         matrix, config, members, reference = setup
-        cfg = config.with_updates(n_workers=2, parallel_mode="split")
+        cfg = config.with_updates(parallel=ParallelConfig(n_workers=2, mode="split"))
         net = LemonTreeLearner(cfg).learn_from_modules(
             matrix, members, seed=5, checkpoint_dir=tmp_path
         ).network
@@ -140,7 +142,7 @@ class TestSingleTransfer:
         parents = _parents(matrix, config)
         poolutil.reset_counters()
         with ModuleExecutor(
-            matrix.values, parents, config.with_updates(n_workers=2), 5,
+            matrix.values, parents, config.with_updates(parallel=ParallelConfig(n_workers=2)), 5,
             parallel_mode="split",
         ) as executor:
             first = executor.learn_modules(members)
@@ -175,7 +177,7 @@ class TestSingleTransfer:
 
         poolutil.reset_counters()
         with ModuleExecutor(
-            matrix.values, parents, config.with_updates(n_workers=2), 5,
+            matrix.values, parents, config.with_updates(parallel=ParallelConfig(n_workers=2)), 5,
             parallel_mode="module",
         ) as executor:
             executor.learn_modules(members)
@@ -278,7 +280,7 @@ class TestTeardown:
         # executor module's globals, so the patch reaches them.
         monkeypatch.setattr(executor_mod, "learn_single_module", boom)
         before = _shm_names()
-        cfg = config.with_updates(n_workers=2, parallel_mode="module")
+        cfg = config.with_updates(parallel=ParallelConfig(n_workers=2, mode="module"))
         with pytest.raises(ValueError, match="injected module failure"):
             LemonTreeLearner(cfg).learn_from_modules(matrix, members, seed=5)
         assert _shm_names() == before
@@ -331,7 +333,7 @@ class TestTrace:
     def test_worker_times_and_steps_recorded(self, setup):
         matrix, config, members, _ = setup
         trace = WorkTrace()
-        cfg = config.with_updates(n_workers=2, parallel_mode="module")
+        cfg = config.with_updates(parallel=ParallelConfig(n_workers=2, mode="module"))
         LemonTreeLearner(cfg).learn_from_modules(
             matrix, members, seed=5, trace=trace
         )

@@ -10,6 +10,7 @@ from repro.genomica import (
     GenomicaLearner,
     ParallelGenomicaLearner,
 )
+from repro.core.config import ParallelConfig
 from repro.parallel.trace import WorkTrace, project_time
 
 
@@ -157,7 +158,7 @@ class TestPooledGenomica:
 
     @pytest.mark.parametrize("n_workers", [2, 4])
     def test_identical_to_sequential(self, easy_dataset, easy_result, n_workers):
-        config = GenomicaConfig(n_modules=3, max_iterations=8, n_workers=n_workers)
+        config = GenomicaConfig(n_modules=3, max_iterations=8, parallel=ParallelConfig(n_workers=n_workers))
         pooled = GenomicaLearner(config).learn(easy_dataset.matrix, seed=5)
         assert pooled.network == easy_result.network
         assert pooled.n_iterations == easy_result.n_iterations
@@ -168,7 +169,8 @@ class TestPooledGenomica:
         sequential = GenomicaLearner(config).learn(easy_dataset.matrix, seed=2)
         pooled = GenomicaLearner(
             GenomicaConfig(
-                n_modules=3, max_iterations=3, rng_backend="mrg", n_workers=2
+                n_modules=3, max_iterations=3, rng_backend="mrg",
+                parallel=ParallelConfig(n_workers=2)
             )
         ).learn(easy_dataset.matrix, seed=2)
         assert pooled.network == sequential.network
@@ -177,14 +179,20 @@ class TestPooledGenomica:
         from repro.parallel import poolutil
 
         poolutil.reset_counters()
-        config = GenomicaConfig(n_modules=3, max_iterations=3, n_workers=2)
+        config = GenomicaConfig(n_modules=3, max_iterations=3, parallel=ParallelConfig(n_workers=2))
         GenomicaLearner(config).learn(easy_dataset.matrix, seed=5)
         assert poolutil.counters()["pool_constructions"] == 1
         assert poolutil.counters()["matrix_transfers"] == 1
 
     def test_invalid_worker_count_rejected(self):
         with pytest.raises(ValueError):
-            GenomicaConfig(n_workers=-1)
+            GenomicaConfig(parallel=ParallelConfig(n_workers=-1))
+
+    def test_dropped_flat_knob_rejected(self):
+        # The one-release deprecation shim for the flat ``n_workers``
+        # field is gone: the old spelling is now a hard error.
+        with pytest.raises(TypeError):
+            GenomicaConfig(n_workers=2)
 
 
 class TestGenomicaTrace:

@@ -20,7 +20,7 @@ import os
 import numpy as np
 import pytest
 
-from repro.core.config import LearnerConfig
+from repro.core.config import LearnerConfig, ParallelConfig
 from repro.core.learner import LemonTreeLearner, _GaneshCheckpoints
 from repro.parallel import poolutil
 from repro.parallel.executor import (
@@ -61,7 +61,7 @@ class TestEquivalence:
     )
     def test_bit_identical_across_worker_counts(self, setup, n_workers):
         matrix, config, reference = setup
-        cfg = config.with_updates(n_workers=n_workers)
+        cfg = config.with_updates(parallel=ParallelConfig(n_workers=n_workers))
         samples = LemonTreeLearner(cfg).sample_clusterings(matrix, seed=SEED)
         _assert_same_ensemble(samples, reference)
 
@@ -73,7 +73,7 @@ class TestEquivalence:
         cfg = config.with_updates(rng_backend="mrg")
         reference = LemonTreeLearner(cfg).sample_clusterings(matrix, seed=SEED)
         samples = LemonTreeLearner(
-            cfg.with_updates(n_workers=n_workers)
+            cfg.with_updates(parallel=ParallelConfig(n_workers=n_workers))
         ).sample_clusterings(matrix, seed=SEED)
         _assert_same_ensemble(samples, reference)
 
@@ -91,7 +91,7 @@ class TestEquivalence:
 
         TaskPoolExecutor.dispatch_order_hook = staticmethod(hook)
         try:
-            cfg = config.with_updates(n_workers=2)
+            cfg = config.with_updates(parallel=ParallelConfig(n_workers=2))
             samples = LemonTreeLearner(cfg).sample_clusterings(matrix, seed=SEED)
         finally:
             TaskPoolExecutor.dispatch_order_hook = None
@@ -102,7 +102,7 @@ class TestEquivalence:
         matrix, config, _ = setup
         sequential = LemonTreeLearner(config).learn(matrix, seed=SEED).network
         parallel = LemonTreeLearner(
-            config.with_updates(n_workers=2)
+            config.with_updates(parallel=ParallelConfig(n_workers=2))
         ).learn(matrix, seed=SEED).network
         assert parallel == sequential
 
@@ -115,7 +115,7 @@ class TestEquivalence:
             matrix, seed=SEED, trace=seq_trace
         )
         par_trace = WorkTrace()
-        LemonTreeLearner(config.with_updates(n_workers=2)).sample_clusterings(
+        LemonTreeLearner(config.with_updates(parallel=ParallelConfig(n_workers=2))).sample_clusterings(
             matrix, seed=SEED, trace=par_trace
         )
         assert par_trace.worker_times
@@ -135,7 +135,7 @@ class TestResume:
         those k files and leaves the survivors untouched (byte-for-byte
         the same inode content — they are never rewritten)."""
         matrix, config, reference = setup
-        cfg = config.with_updates(n_workers=2)
+        cfg = config.with_updates(parallel=ParallelConfig(n_workers=2))
         LemonTreeLearner(cfg).sample_clusterings(
             matrix, seed=SEED, checkpoint_dir=tmp_path
         )
@@ -162,7 +162,7 @@ class TestResume:
         """Checkpoints written by pool workers are valid for a sequential
         resume (and vice versa) — one on-disk format, one fingerprint."""
         matrix, config, reference = setup
-        LemonTreeLearner(config.with_updates(n_workers=2)).sample_clusterings(
+        LemonTreeLearner(config.with_updates(parallel=ParallelConfig(n_workers=2))).sample_clusterings(
             matrix, seed=SEED, checkpoint_dir=tmp_path
         )
         samples = LemonTreeLearner(config).sample_clusterings(
@@ -182,7 +182,7 @@ class TestResume:
         for g in (0, 2):
             checkpoints.store(g, samples[g])
 
-        resumed = LemonTreeLearner(config.with_updates(n_workers=2)).learn(
+        resumed = LemonTreeLearner(config.with_updates(parallel=ParallelConfig(n_workers=2))).learn(
             matrix, seed=SEED, checkpoint_dir=tmp_path
         )
         assert resumed.network == reference
@@ -216,7 +216,7 @@ class TestWorkerCrash:
         matrix, config, reference = setup
         parents = _parents(matrix, config)
         with TaskPoolExecutor(
-            matrix.values, parents, config.with_updates(n_workers=2), SEED,
+            matrix.values, parents, config.with_updates(parallel=ParallelConfig(n_workers=2)), SEED,
             checkpoint_dir=tmp_path, crash_poll_seconds=0.2,
         ) as executor:
             with pytest.raises(WorkerCrashedError):
@@ -231,7 +231,7 @@ class TestWorkerCrash:
         assert names
 
         samples = LemonTreeLearner(
-            config.with_updates(n_workers=2)
+            config.with_updates(parallel=ParallelConfig(n_workers=2))
         ).sample_clusterings(matrix, seed=SEED, checkpoint_dir=tmp_path)
         _assert_same_ensemble(samples, reference)
 
@@ -243,7 +243,7 @@ class TestWorkerCrash:
         matrix, config, _ = setup
         parents = _parents(matrix, config)
         executor = TaskPoolExecutor(
-            matrix.values, parents, config.with_updates(n_workers=2), SEED,
+            matrix.values, parents, config.with_updates(parallel=ParallelConfig(n_workers=2)), SEED,
             checkpoint_dir=tmp_path, crash_poll_seconds=0.2,
         )
         try:
@@ -266,7 +266,7 @@ class TestSingleTransfer:
         matrix, config, _ = setup
         poolutil.reset_counters()
         result = LemonTreeLearner(
-            config.with_updates(n_workers=2)
+            config.with_updates(parallel=ParallelConfig(n_workers=2))
         ).learn(matrix, seed=SEED)
         counts = poolutil.counters()
         assert counts["pool_constructions"] == 1
@@ -281,6 +281,6 @@ class TestSingleTransfer:
         pool up for it (lazy construction) but still serves Task 3."""
         matrix, config, _ = setup
         poolutil.reset_counters()
-        cfg = config.with_updates(n_ganesh_runs=1, n_workers=2)
+        cfg = config.with_updates(n_ganesh_runs=1, parallel=ParallelConfig(n_workers=2))
         LemonTreeLearner(cfg).learn(matrix, seed=SEED)
         assert poolutil.counters()["pool_constructions"] == 1

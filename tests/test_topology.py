@@ -9,23 +9,20 @@ The contracts this file pins down:
   ``block_bounds`` on a flat topology;
 * pinned (topology "auto" / multi-domain) and unpinned (topology "flat")
   executor runs produce bit-identical networks on the Task 3 fixture;
-* the deprecated flat config knobs (``LearnerConfig.n_workers`` /
-  ``parallel_mode`` / ``schedule``, ``GenomicaConfig.n_workers``) warn
-  and round-trip through the embedded ``config.parallel``.
+* per-domain cache descriptors flow into per-domain kernel chunk sizes,
+  degenerating to the machine-wide value on a flat topology;
+* the old flat config knobs (``LearnerConfig.n_workers`` /
+  ``parallel_mode`` / ``schedule``, ``GenomicaConfig.n_workers``) are
+  gone — the ``config.parallel`` spelling is the only one.
 """
 
 import os
 import pickle
-import warnings
 
 import pytest
 
 import repro
-from repro.core.config import (
-    LearnerConfig,
-    ParallelConfig,
-    _reset_deprecation_warnings,
-)
+from repro.core.config import LearnerConfig, ParallelConfig
 from repro.core.learner import LemonTreeLearner
 from repro.genomica.learner import GenomicaConfig
 from repro.parallel.costmodel import block_bounds
@@ -323,92 +320,138 @@ class TestBitIdentity:
         assert back.domain_times == pytest.approx(trace.domain_times)
 
 
-class TestConfigShims:
-    """The deprecated flat knobs warn once and fold onto ``parallel``."""
+class TestDomainChunks:
+    """Per-domain cache descriptors drive per-domain kernel chunk sizes."""
 
-    def setup_method(self):
-        _reset_deprecation_warnings()
-
-    def test_learner_constructor_knobs_fold_into_parallel(self):
-        with pytest.warns(DeprecationWarning, match=r"LearnerConfig\.n_workers"):
-            cfg = LearnerConfig(n_workers=3, parallel_mode="module", schedule="static")
-        assert cfg.parallel == ParallelConfig(
-            n_workers=3, mode="module", schedule="static"
+    def _hetero_topology(self):
+        # Domain 0: 2 MiB L2 / 16 MiB L3 over 2 cores; domain 1: 512 KiB
+        # L2 / 4 MiB L3 over 4 cores — a big.LITTLE-style split.
+        return MachineTopology(
+            numa_domains=((0, 1), (2, 3, 4, 5)),
+            l2_bytes=2 << 20, l3_bytes=16 << 20, source="sysfs",
+            domain_l2_bytes=(2 << 20, 512 << 10),
+            domain_l3_bytes=(16 << 20, 4 << 20),
         )
 
-    def test_property_reads_warn_and_forward(self):
-        cfg = LearnerConfig(parallel=ParallelConfig(n_workers=5, mode="split"))
-        with pytest.warns(DeprecationWarning, match=r"parallel\.n_workers"):
-            assert cfg.n_workers == 5
-        with pytest.warns(DeprecationWarning, match=r"parallel\.mode"):
-            assert cfg.parallel_mode == "split"
-        with pytest.warns(DeprecationWarning, match=r"parallel\.schedule"):
-            assert cfg.schedule == "dynamic"
-
-    def test_warns_once_per_call_site(self):
-        with warnings.catch_warnings(record=True) as caught:
-            warnings.simplefilter("always")
-            for _ in range(3):
-                LearnerConfig(n_workers=2)
-        assert len(caught) == 1
-
-    def test_with_updates_translates_old_knobs(self):
-        cfg = LearnerConfig()
-        with pytest.warns(DeprecationWarning):
-            updated = cfg.with_updates(n_workers=4, schedule="static")
-        assert updated.parallel.n_workers == 4
-        assert updated.parallel.schedule == "static"
-        assert updated.parallel.mode == cfg.parallel.mode
-
-    def test_with_updates_new_style_does_not_warn(self):
-        cfg = LearnerConfig()
-        with warnings.catch_warnings():
-            warnings.simplefilter("error")
-            updated = cfg.with_updates(
-                parallel=ParallelConfig(n_workers=4), max_sampling_steps=3
+    def test_per_domain_list_must_match_domain_count(self):
+        with pytest.raises(ValueError):
+            MachineTopology(
+                numa_domains=((0,), (1,)), source="sysfs",
+                domain_l2_bytes=(1 << 20,),
             )
+        with pytest.raises(ValueError):
+            MachineTopology(
+                numa_domains=((0,),), source="sysfs", domain_l3_bytes=(-1,)
+            )
+
+    def test_domain_caches_fall_back_to_machine_wide(self):
+        topology = MachineTopology(
+            numa_domains=((0,), (1,)), l2_bytes=2 << 20, l3_bytes=8 << 20,
+            source="sysfs",
+        )
+        assert topology.domain_caches(0) == (2 << 20, 8 << 20)
+        assert topology.domain_caches(1) == (2 << 20, 8 << 20)
+
+    def test_chunk_elements_differ_across_heterogeneous_domains(self):
+        topology = self._hetero_topology()
+        # Domain 0: half of 2 MiB L2 = 1 MiB -> 2^17 elements (L3 share
+        # 16M/2 = 8M doesn't bind).  Domain 1: half of 512K = 256K -> 2^15
+        # elements (L3 share 4M/4 = 1M doesn't bind).
+        assert chunk_elements_for(topology, 0) == 1 << 17
+        assert chunk_elements_for(topology, 1) == 1 << 15
+
+    def test_domain_l3_divided_by_domain_cores_only(self):
+        # 8 MiB L3 shared by the domain's own 4 cores -> 2 MiB share;
+        # the other domain's 12 cores must not shrink it.
+        topology = MachineTopology(
+            numa_domains=(tuple(range(4)), tuple(range(4, 16))),
+            l2_bytes=8 << 20, l3_bytes=8 << 20, source="sysfs",
+        )
+        # Half-L2 = 4 MiB, L3 share = 8M/4 = 2 MiB binds -> 2^18 elements.
+        assert chunk_elements_for(topology, 0) == 1 << 18
+
+    def test_single_domain_matches_machine_wide(self):
+        # Flat degeneration: per-domain chunk == machine-wide chunk, so a
+        # flat machine takes the exact pre-change value.
+        topology = MachineTopology(
+            numa_domains=(tuple(range(4)),), l2_bytes=2 << 20,
+            l3_bytes=16 << 20, source="sysfs",
+        )
+        assert chunk_elements_for(topology, 0) == chunk_elements_for(topology)
+        flat = flat_topology(4)
+        assert chunk_elements_for(flat, 0) == FLAT_CHUNK_ELEMENTS
+
+    def test_placement_ships_per_worker_chunks(self):
+        topology = self._hetero_topology()
+        placement = plan_placement(topology, 3)
+        per_domain = placement.domain_chunk_elements()
+        assert per_domain == (1 << 17, 1 << 15)
+        for worker in range(placement.n_workers):
+            domain = placement.domain_of(worker)
+            assert placement.chunk_elements(worker) == per_domain[domain]
+
+    def test_describe_round_trips_per_domain_caches(self):
+        topology = self._hetero_topology()
+        desc = topology.describe()
+        assert desc["domain_l2_bytes"] == [2 << 20, 512 << 10]
+        assert desc["domain_l3_bytes"] == [16 << 20, 4 << 20]
+        assert flat_topology(2).describe()["domain_l2_bytes"] is None
+
+    def test_probe_records_per_domain_caches(self, tmp_path):
+        cpus = available_cpus()
+        _make_sysfs(tmp_path, [str(c) for c in cpus[:2]])
+        topology = probe_topology(sysfs_root=tmp_path)
+        assert topology.source == "sysfs"
+        assert topology.domain_l2_bytes is not None
+        assert len(topology.domain_l2_bytes) == topology.n_domains
+        # Domain 0's probe found the fake cache tree; machine-wide sizes
+        # mirror domain 0 (the probe's reference domain).
+        assert topology.domain_l2_bytes[0] == topology.l2_bytes == 2048 << 10
+
+    def test_spread_domains_cycles_plan(self):
+        placement = plan_placement(_two_domain_topology(), 2)
+        assert placement.spread_domains(5) == [0, 1, 0, 1, 0]
+        flat = plan_placement(flat_topology(4), 3)
+        assert flat.spread_domains(4) == [0, 0, 0, 0]
+
+
+class TestParallelConfigApi:
+    """``config.parallel`` is the only spelling of the backend knobs."""
+
+    def test_dropped_flat_knobs_rejected(self):
+        # The one-release deprecation shims for the flat knobs are gone:
+        # the old spellings are now hard errors.
+        with pytest.raises(TypeError):
+            LearnerConfig(n_workers=2)
+        with pytest.raises(TypeError):
+            LearnerConfig(parallel_mode="module")
+        with pytest.raises(TypeError):
+            LearnerConfig(schedule="static")
+        with pytest.raises(TypeError):
+            GenomicaConfig(n_workers=2)
+        with pytest.raises(TypeError):
+            LearnerConfig().with_updates(n_workers=4)
+
+    def test_dropped_property_reads_are_attribute_errors(self):
+        cfg = LearnerConfig(parallel=ParallelConfig(n_workers=5))
+        with pytest.raises(AttributeError):
+            cfg.n_workers
+        with pytest.raises(AttributeError):
+            cfg.parallel_mode
+        with pytest.raises(AttributeError):
+            GenomicaConfig().n_workers
+
+    def test_with_updates_replaces_parallel(self):
+        cfg = LearnerConfig()
+        updated = cfg.with_updates(
+            parallel=ParallelConfig(n_workers=4), max_sampling_steps=3
+        )
         assert updated.parallel.n_workers == 4
         assert updated.max_sampling_steps == 3
-
-    def test_old_knob_still_validated(self):
-        with warnings.catch_warnings():
-            warnings.simplefilter("ignore")
-            with pytest.raises(ValueError):
-                LearnerConfig(n_workers=-1)
-            with pytest.raises(ValueError):
-                LearnerConfig(parallel_mode="threads")
 
     def test_new_pickle_round_trips(self):
         cfg = LearnerConfig(parallel=ParallelConfig(n_workers=2, topology="flat"))
         assert pickle.loads(pickle.dumps(cfg)) == cfg
-
-    def test_old_pickle_state_migrates(self):
-        state = dict(LearnerConfig().__dict__)
-        del state["parallel"]
-        state["n_workers"] = 4
-        state["parallel_mode"] = "split"
-        state["schedule"] = "static"
-        old = object.__new__(LearnerConfig)
-        old.__setstate__(state)
-        assert old.parallel == ParallelConfig(
-            n_workers=4, mode="split", schedule="static"
-        )
-        with pytest.warns(DeprecationWarning):
-            assert old.n_workers == 4
-
-    def test_genomica_constructor_knob_folds_into_parallel(self):
-        with pytest.warns(DeprecationWarning, match=r"GenomicaConfig\.n_workers"):
-            cfg = GenomicaConfig(n_modules=3, n_workers=2)
-        assert cfg.parallel.n_workers == 2
-        _reset_deprecation_warnings()  # warn-once shares the (field, module) key
-        with pytest.warns(DeprecationWarning):
-            assert cfg.n_workers == 2
-
-    def test_genomica_new_style_does_not_warn(self):
-        with warnings.catch_warnings():
-            warnings.simplefilter("error")
-            cfg = GenomicaConfig(n_modules=3, parallel=ParallelConfig(n_workers=2))
-        assert cfg.parallel.n_workers == 2
 
     def test_resolve_n_workers_clamps_to_affinity_mask(self):
         if not hasattr(os, "sched_getaffinity"):
@@ -427,17 +470,11 @@ class TestConfigShims:
             ParallelConfig(schedule="work-stealing")
         with pytest.raises(ValueError):
             ParallelConfig(topology="numa")
+        with pytest.raises(ValueError):
+            ParallelConfig(steal="yes")
         assert ParallelConfig(topology=flat_topology(2)).resolve_topology(
         ) == flat_topology(2)
-
-    def test_internal_deprecated_use_is_an_error(self):
-        # The pyproject filterwarnings entry promotes the shim warning to
-        # an error when the *calling* module is inside the repro package:
-        # the grace period is for downstream users, not internal code.
-        code = compile("cfg.n_workers", "<repro-internal>", "eval")
-        cfg = LearnerConfig(parallel=ParallelConfig(n_workers=2))
-        with pytest.raises(DeprecationWarning):
-            eval(code, {"__name__": "repro.fake_internal", "cfg": cfg})
+        assert ParallelConfig().steal is True
 
     def test_package_exports(self):
         assert repro.ParallelConfig is ParallelConfig
