@@ -27,6 +27,7 @@ import os
 import time
 
 import numpy as np
+import pytest
 
 from conftest import BENCH_SEED
 from repro.bench import render_table, save_results
@@ -176,7 +177,11 @@ def test_kernel_vs_materialized(capsys):
         return margins, chain, best
 
     def run_kernel():
-        kernel = split_kernel_from_arrays(data, obs, left_obs, parents, grid)
+        # Pinned to the NumPy oracle: this record tracks the lazy-margin
+        # rewrite itself; the native backend has its own sweep below.
+        kernel = split_kernel_from_arrays(
+            data, obs, left_obs, parents, grid, backend="numpy"
+        )
         chain = scorer.score_batch_kernel(kernel, uniforms)
         best = scorer.score_grid_best_kernel(kernel)
         return kernel, chain, best
@@ -255,4 +260,109 @@ def test_kernel_vs_materialized(capsys):
         assert speedup >= 2.0, (
             f"lazy-margin kernel must be >= 2x the materialized baseline, "
             f"got {speedup:.2f}x"
+        )
+
+
+def test_native_vs_numpy_kernel(capsys):
+    """Backend sweep: the native-compiled chunk evaluator against the NumPy
+    oracle on the same lazy kernel, chain + grid-best.
+
+    Bit-identity is the unconditional gate — every score, step count, beta
+    index, acceptance flag and the entire memo cache must match the NumPy
+    backend exactly (the extension already certified itself against NumPy
+    at load, this asserts it end to end through the chain driver).  The
+    record lands in ``benchmarks/results/BENCH_kernel_native.json``.
+    """
+    from repro import _native
+    from repro.scoring.kernel import consume_kernel_totals
+
+    if _native.load() is None:
+        info = _native.availability()
+        pytest.skip(f"native backend unavailable ({info['status']}: {info['detail']})")
+
+    data, obs, left_obs, parents, scorer, uniforms = _node_scenario()
+    grid = scorer.beta_grid
+
+    def run_backend(backend):
+        kernel = split_kernel_from_arrays(
+            data, obs, left_obs, parents, grid, backend=backend
+        )
+        chain = scorer.score_batch_kernel(kernel, uniforms)
+        best = scorer.score_grid_best_kernel(kernel)
+        return kernel, chain, best
+
+    consume_kernel_totals()  # isolate this sweep's counter window
+    t_numpy, (numpy_kernel, numpy_chain, numpy_best) = _best_of(
+        REPEATS, lambda: run_backend("numpy")
+    )
+    t_native, (native_kernel, native_chain, native_best) = _best_of(
+        REPEATS, lambda: run_backend("native")
+    )
+    totals = consume_kernel_totals()
+
+    for name, got, want in zip(
+        ("log_scores", "steps", "beta_idx", "accepted"), native_chain, numpy_chain
+    ):
+        np.testing.assert_array_equal(
+            got, want, err_msg=f"chain {name} diverged between backends"
+        )
+    for name, got, want in zip(
+        ("log_scores", "beta_idx", "accepted"), native_best, numpy_best
+    ):
+        np.testing.assert_array_equal(
+            got, want, err_msg=f"grid-best {name} diverged between backends"
+        )
+    # The whole memo cache — every (group, beta) score either backend
+    # evaluated — must agree bit for bit, and so must the accounting.
+    np.testing.assert_array_equal(native_kernel._seen, numpy_kernel._seen)
+    np.testing.assert_array_equal(
+        native_kernel._cache[native_kernel._seen],
+        numpy_kernel._cache[numpy_kernel._seen],
+        err_msg="memo caches diverged between backends",
+    )
+    assert native_kernel.hits == numpy_kernel.hits
+    assert native_kernel.evaluations == numpy_kernel.evaluations
+    assert native_kernel.peak_chunk_elements == numpy_kernel.peak_chunk_elements
+
+    speedup = t_numpy / t_native
+    rows = [
+        ["numpy (oracle)", f"{t_numpy * 1e3:.1f}", "1.00x"],
+        [f"native ({native_kernel._native.provider})", f"{t_native * 1e3:.1f}",
+         f"{speedup:.2f}x"],
+    ]
+    table = render_table(
+        f"Split-kernel backends: P={N_PARENTS}, n_obs={N_OBS}, "
+        f"{native_kernel.n_items} candidates (chain + grid-best, bit-identical)",
+        ["backend", "time (ms)", "speedup"],
+        rows,
+    )
+    with capsys.disabled():
+        print("\n" + table)
+
+    save_results(
+        "BENCH_kernel_native",
+        {
+            "n_parents": N_PARENTS,
+            "n_obs": N_OBS,
+            "n_items": native_kernel.n_items,
+            "n_groups": native_kernel.n_groups,
+            "max_steps": MAX_STEPS,
+            "stop_repeats": STOP_REPEATS,
+            "time_numpy_s": t_numpy,
+            "time_native_s": t_native,
+            "speedup": speedup,
+            "provider": native_kernel._native.provider,
+            "memo_hits": native_kernel.hits,
+            "memo_evaluations": native_kernel.evaluations,
+            "peak_chunk_elements": native_kernel.peak_chunk_elements,
+            "kernel_totals": totals,
+            "max_chunk_elements": configured_chunk_elements(),
+            "bit_identical": True,
+            "smoke": SMOKE,
+        },
+    )
+    if not SMOKE:
+        assert speedup >= 2.0, (
+            f"native backend must be >= 2x the NumPy kernel at the standard "
+            f"bench shape, got {speedup:.2f}x"
         )

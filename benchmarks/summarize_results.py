@@ -100,6 +100,26 @@ def main() -> None:
                   f"{row['flat_imbalance']:.2f}, dyn-LPT "
                   f"{row['lpt_imbalance']:.2f}")
 
+    kern = _load("BENCH_kernel")
+    if kern:
+        print(f"kernel: lazy {kern['speedup']:.2f}x vs materialized "
+              f"(P={kern['n_parents']}, n_obs={kern['n_obs']}); memo hit rate "
+              f"{kern['memo_hit_rate']:.0%} ({kern['memo_hits']} hits / "
+              f"{kern['memo_evaluations']} evals), peak chunk "
+              f"{kern['peak_chunk_elements']} elems; "
+              f"bit-identical: {kern['bit_identical']}")
+
+    kern_native = _load("BENCH_kernel_native")
+    if kern_native:
+        totals = kern_native.get("kernel_totals") or {}
+        backends = "+".join(totals.get("backends", [])) or "n/a"
+        print(f"kernel-native: {kern_native['speedup']:.2f}x vs numpy oracle "
+              f"(provider {kern_native['provider']}, backends {backends}); "
+              f"{kern_native['memo_hits']} hits / "
+              f"{kern_native['memo_evaluations']} evals per backend, peak chunk "
+              f"{kern_native['peak_chunk_elements']} elems; "
+              f"bit-identical: {kern_native['bit_identical']}")
+
     genomica = _load("extension_genomica")
     if genomica:
         sp = genomica.get("speedups_genome_scale", genomica.get("speedups", {}))

@@ -3,8 +3,22 @@
 The offline toolchain here (setuptools 65, no ``wheel``) cannot build PEP
 660 editable wheels, so ``pip install -e . --no-build-isolation`` falls
 back to this legacy path.  All metadata lives in ``pyproject.toml``.
+
+Set ``REPRO_BUILD_NATIVE=1`` to AOT-compile the optional native
+split-scoring extension (``repro._native._native_kernel``) at install
+time; it needs cffi and a C compiler.  Without the flag (or when either
+is missing) the install is pure Python — the extension is then built on
+demand into a per-user cache the first time ``kernel_backend`` asks for
+it, and ``"auto"`` falls back to NumPy when that is impossible too.
 """
+
+import os
 
 from setuptools import setup
 
-setup()
+kwargs = {}
+if os.environ.get("REPRO_BUILD_NATIVE"):
+    kwargs["cffi_modules"] = ["src/repro/_native/_build.py:ffibuilder"]
+    kwargs["setup_requires"] = ["cffi>=1.15"]
+
+setup(**kwargs)

@@ -1,0 +1,443 @@
+"""Native-compiled split-scoring kernels, certified against NumPy at load.
+
+``load()`` returns a :class:`NativeKernels` handle (or ``None`` when the
+backend is unavailable) and is what ``repro.scoring.kernel`` consults when
+``ParallelConfig.kernel_backend`` asks for ``"native"`` or ``"auto"``.
+Acquisition order:
+
+1. ``REPRO_NATIVE_DISABLE`` in the environment disables the backend
+   outright (the no-toolchain CI job and the documented escape hatch).
+2. A prebuilt ``repro._native._native_kernel`` extension (installed via
+   ``REPRO_BUILD_NATIVE=1 pip install .``) is imported if present.
+3. Otherwise the cffi recipe in :mod:`repro._native._build` is compiled on
+   demand into a per-user cache directory keyed by the source hash and
+   toolchain, then imported from there.  The finished shared object is
+   moved into place with an atomic rename, so concurrent ``spawn`` pool
+   workers race benignly: the first build wins, everyone loads the same
+   file, and later processes skip the compile entirely.  Workers receive
+   no pickled state — each process resolves the module at module level
+   from the same deterministic path.
+4. The compiled code picks a transcendental provider — the SVML kernels
+   ``dlsym``-ed out of NumPy's own ``_multiarray_umath`` extension, or
+   scalar libm — and **self-certifies**: a probe battery compares the
+   native evaluator, grouped statistics, and normal-gamma tail against the
+   NumPy implementations bit for bit.  A provider that fails certification
+   is rejected; if none survives, the backend reports unavailable and the
+   ``"auto"`` setting falls back to NumPy.
+
+Every ``availability()`` status distinguishes *expected* absence (no cffi,
+no C compiler, explicitly disabled) from *failure* (build error, import
+error, certification mismatch); the kernel-backend resolver only warns on
+the latter.  All exposed entry points release the GIL for the duration of
+the C call (cffi's calling convention), so chunk evaluation overlaps with
+other threads.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import math
+import os
+import shutil
+import sys
+import sysconfig
+import tempfile
+
+import numpy as np
+
+#: loader result cache: (status, detail, provider, kernels-or-None)
+_RESULT: tuple[str, str, str | None, "NativeKernels | None"] | None = None
+
+#: statuses that mean "tried and failed" rather than "expectedly absent" —
+#: the auto resolver warns once for these only
+FAILURE_STATUSES = frozenset(
+    {"build-failed", "load-failed", "init-failed", "certification-failed"}
+)
+
+
+class NativeKernels:
+    """Typed wrapper over the certified cffi extension.
+
+    All array arguments must be C-contiguous ``float64``/``int64``; the
+    callers in ``repro.scoring`` guarantee that.  Methods mirror the NumPy
+    expressions they replace and are bit-identical to them (enforced by
+    :func:`_certify` before this object is ever handed out).
+    """
+
+    def __init__(self, ffi, lib, provider: str) -> None:
+        self._ffi = ffi
+        self._lib = lib
+        self.provider = provider
+
+    def _dp(self, arr: np.ndarray):
+        return self._ffi.cast("double *", arr.ctypes.data)
+
+    def _ip(self, arr: np.ndarray):
+        return self._ffi.cast("int64_t *", arr.ctypes.data)
+
+    def eval_chunk(
+        self,
+        group_value: np.ndarray,
+        group_row: np.ndarray,
+        values: np.ndarray,
+        sign: np.ndarray,
+        beta: float,
+        quantum: float,
+        out: np.ndarray,
+    ) -> None:
+        """Quantized log-sigmoid row scores for one same-beta chunk."""
+        rc = self._lib.repro_eval_chunk(
+            self._dp(group_value),
+            self._ip(group_row),
+            group_value.shape[0],
+            self._dp(values),
+            values.shape[1],
+            self._dp(sign),
+            float(beta),
+            float(quantum),
+            self._dp(out),
+        )
+        if rc:
+            raise MemoryError("native evaluation chunk allocation failed")
+
+    def grouped(
+        self, vals: np.ndarray, labels: np.ndarray, n_groups: int
+    ) -> tuple[np.ndarray, np.ndarray, np.ndarray] | None:
+        """Fused per-group (count, total, sumsq), or ``None`` when a label
+        falls outside ``[0, n_groups)`` (the caller's NumPy path then keeps
+        ``np.bincount``'s implicit-widening semantics)."""
+        count = np.zeros(n_groups)
+        total = np.zeros(n_groups)
+        sumsq = np.zeros(n_groups)
+        if vals.ndim == 1:
+            rc = self._lib.repro_grouped_1d(
+                self._dp(vals),
+                vals.shape[0],
+                self._ip(labels),
+                n_groups,
+                self._dp(count),
+                self._dp(total),
+                self._dp(sumsq),
+            )
+        else:
+            rc = self._lib.repro_grouped_2d(
+                self._dp(vals),
+                vals.shape[0],
+                vals.shape[1],
+                self._ip(labels),
+                n_groups,
+                self._dp(count),
+                self._dp(total),
+                self._dp(sumsq),
+            )
+        if rc == -2:
+            return None
+        if rc:
+            raise MemoryError("native grouped-stats allocation failed")
+        return count, total, sumsq
+
+    def log_marginal(
+        self,
+        n: np.ndarray,
+        s: np.ndarray,
+        q: np.ndarray,
+        lgam_alpha_n: np.ndarray,
+        prior,
+    ) -> np.ndarray:
+        """The vectorized normal-gamma score with ``gammaln(alpha_N)``
+        precomputed by the caller (SciPy both ways, so identical)."""
+        out = np.empty(n.shape[0])
+        self._lib.repro_log_marginal(
+            self._dp(n),
+            self._dp(s),
+            self._dp(q),
+            self._dp(lgam_alpha_n),
+            n.shape[0],
+            prior.mu0,
+            prior.lambda0,
+            prior.alpha0,
+            prior.beta0,
+            prior.log_lambda0,
+            prior.log_beta0,
+            prior.lgamma_alpha0,
+            math.log(2.0 * math.pi),
+            self._dp(out),
+        )
+        return out
+
+
+def _numpy_umath_path() -> str | None:
+    """The shared object whose SVML exports the svml provider resolves."""
+    try:
+        from numpy._core import _multiarray_umath
+    except ImportError:  # pragma: no cover - numpy < 2
+        try:
+            from numpy.core import _multiarray_umath  # type: ignore
+        except ImportError:
+            return None
+    return getattr(_multiarray_umath, "__file__", None)
+
+
+def _find_compiler() -> str | None:
+    cc = os.environ.get("CC")
+    candidates = [cc] if cc else ["cc", "gcc", "clang"]
+    for name in candidates:
+        path = shutil.which(name)
+        if path is not None:
+            return path
+    return None
+
+
+def _cache_dir(source_key: str) -> str:
+    root = os.environ.get("REPRO_NATIVE_CACHE") or os.path.join(
+        os.path.expanduser("~"), ".cache", "repro-native"
+    )
+    return os.path.join(root, source_key)
+
+
+def _source_key() -> str:
+    from repro._native import _build
+
+    h = hashlib.sha256()
+    h.update(_build.CSOURCE.encode())
+    h.update(_build.CDEF.encode())
+    h.update(sys.version.encode())
+    h.update(np.__version__.encode())
+    h.update(sysconfig.get_platform().encode())
+    return h.hexdigest()[:16]
+
+
+def _ext_filename() -> str:
+    return "_native_kernel" + (sysconfig.get_config_var("EXT_SUFFIX") or ".so")
+
+
+def _import_extension(path: str):
+    import importlib.util
+
+    # The last dotted component must match the extension's PyInit symbol.
+    spec = importlib.util.spec_from_file_location(
+        "repro._native._native_kernel", path
+    )
+    module = importlib.util.module_from_spec(spec)
+    spec.loader.exec_module(module)
+    return module
+
+
+def _build_on_demand() -> str:
+    """Compile the cffi recipe into the cache, atomically; return the
+    final shared-object path (reused as-is when it already exists)."""
+    final_dir = _cache_dir(_source_key())
+    final_path = os.path.join(final_dir, _ext_filename())
+    if os.path.exists(final_path):
+        return final_path
+    from repro._native import _build
+
+    os.makedirs(final_dir, exist_ok=True)
+    tmpdir = tempfile.mkdtemp(prefix="build-", dir=final_dir)
+    try:
+        built = _build.ffibuilder.compile(tmpdir=tmpdir, verbose=False)
+        # cffi nests the output under the dotted module path; find the .so.
+        so_path = built
+        if not os.path.isfile(so_path):  # pragma: no cover - cffi variants
+            for root, _dirs, files in os.walk(tmpdir):
+                for name in files:
+                    if name.endswith(
+                        (".so", ".dylib", ".pyd")
+                    ) and "_native_kernel" in name:
+                        so_path = os.path.join(root, name)
+        os.replace(so_path, final_path)  # atomic: concurrent builders race benignly
+    finally:
+        shutil.rmtree(tmpdir, ignore_errors=True)
+    return final_path
+
+
+def _reference_row_scores(z: np.ndarray, quantum: float) -> np.ndarray:
+    t = np.log1p(np.exp(-np.abs(z)))
+    out = np.where(z > 0, -t, z - t)
+    scores = out.sum(axis=1)
+    return np.round(scores / quantum) * quantum
+
+
+def _certify(kernels: NativeKernels) -> str | None:
+    """Bit-compare the native entry points against NumPy on a probe
+    battery; return ``None`` on success or a mismatch description."""
+    with np.errstate(all="ignore"):  # probe data overflows by design
+        return _certify_battery(kernels)
+
+
+def _certify_battery(kernels: NativeKernels) -> str | None:
+    quantum = 1e-9
+    rng = np.random.default_rng(0x5EED)
+
+    # -- eval_chunk vs the NumPy chunk body --------------------------------
+    for n_obs in (1, 2, 3, 7, 8, 9, 16, 17, 129, 150):
+        for scale in (1.0, 40.0):
+            n_parents = 3
+            values = np.ascontiguousarray(
+                rng.normal(scale=scale, size=(n_parents, n_obs))
+            )
+            if n_obs >= 8:  # duplicate-heavy + special values
+                values[0, :4] = (0.0, -0.0, values[0, 4], values[0, 4])
+                values[1, -2:] = (1e308, -1e308)
+                values[2, 0] = 5e-324
+            sign = np.ascontiguousarray(
+                np.where(rng.random(n_obs) < 0.5, 1.0, -1.0)
+            )
+            n_rows = 5
+            group_row = np.ascontiguousarray(
+                rng.integers(0, n_parents, size=n_rows)
+            )
+            group_value = np.ascontiguousarray(
+                values[group_row, rng.integers(0, n_obs, size=n_rows)]
+            )
+            for beta in (0.25, 1.0, 16.0):
+                diff = group_value[:, None] - values[group_row]
+                z = (sign * diff) * beta
+                want = _reference_row_scores(z, quantum)
+                got = np.empty(n_rows)
+                kernels.eval_chunk(
+                    group_value, group_row, values, sign, beta, quantum, got
+                )
+                if not np.array_equal(got, want, equal_nan=True):
+                    return f"eval_chunk mismatch at n_obs={n_obs}, beta={beta}"
+
+    # -- grouped stats vs the np.bincount formulas -------------------------
+    for rows, cols in (
+        (1, 6), (5, 1), (200, 1), (7, 30), (64, 13), (0, 4), (3000, 3),
+    ):
+        vals = np.ascontiguousarray(rng.normal(scale=1e3, size=(rows, cols)))
+        labels = np.ascontiguousarray(rng.integers(0, 3, size=cols))
+        got = kernels.grouped(vals, labels, 3)
+        want_count = rows * np.bincount(labels, minlength=3).astype(np.float64)
+        want_total = np.bincount(labels, weights=vals.sum(axis=0), minlength=3)
+        want_sumsq = np.bincount(
+            labels, weights=(vals * vals).sum(axis=0), minlength=3
+        )
+        if got is None or not all(
+            np.array_equal(g, w)
+            for g, w in zip(got, (want_count, want_total, want_sumsq))
+        ):
+            return f"grouped_2d mismatch at shape ({rows}, {cols})"
+        flat = np.ascontiguousarray(rng.normal(size=max(rows, 1) * cols))
+        labels1 = np.ascontiguousarray(rng.integers(0, 4, size=flat.size))
+        got1 = kernels.grouped(flat, labels1, 4)
+        want1 = (
+            np.bincount(labels1, minlength=4).astype(np.float64),
+            np.bincount(labels1, weights=flat, minlength=4),
+            np.bincount(labels1, weights=flat * flat, minlength=4),
+        )
+        if got1 is None or not all(
+            np.array_equal(g, w) for g, w in zip(got1, want1)
+        ):
+            return "grouped_1d mismatch"
+
+    # -- log_marginal vs the NumPy expression ------------------------------
+    from scipy.special import gammaln
+
+    class _Prior:
+        mu0, lambda0, alpha0, beta0 = 0.0, 0.1, 0.1, 0.1
+        log_lambda0 = math.log(0.1)
+        log_beta0 = math.log(0.1)
+        lgamma_alpha0 = math.lgamma(0.1)
+
+    prior = _Prior()
+    for size in (1, 7, 8, 9, 511, 513):
+        n = np.ascontiguousarray(
+            rng.integers(0, 40, size=size).astype(np.float64)
+        )
+        s = np.ascontiguousarray(rng.normal(scale=10.0, size=size))
+        q = np.ascontiguousarray(np.abs(rng.normal(scale=100.0, size=size)))
+        n_safe = np.where(n > 0, n, 1.0)
+        xbar = s / n_safe
+        ss = np.maximum(q - n_safe * xbar * xbar, 0.0)
+        lam_n = prior.lambda0 + n
+        alpha_n = prior.alpha0 + n / 2.0
+        d = xbar - prior.mu0
+        beta_n = prior.beta0 + ss / 2.0 + prior.lambda0 * n * d * d / (2.0 * lam_n)
+        want = (
+            gammaln(alpha_n)
+            - prior.lgamma_alpha0
+            + prior.alpha0 * prior.log_beta0
+            - alpha_n * np.log(beta_n)
+            + 0.5 * (prior.log_lambda0 - np.log(lam_n))
+            - (n / 2.0) * math.log(2.0 * math.pi)
+        )
+        want = np.where(n > 0, want, 0.0)
+        got = kernels.log_marginal(
+            n, s, q, np.ascontiguousarray(gammaln(alpha_n)), prior
+        )
+        if not np.array_equal(got, want, equal_nan=True):
+            return f"log_marginal mismatch at size {size}"
+    return None
+
+
+def _load_uncached() -> tuple[str, str, str | None, NativeKernels | None]:
+    if os.environ.get("REPRO_NATIVE_DISABLE"):
+        return "disabled", "REPRO_NATIVE_DISABLE is set", None, None
+
+    module = None
+    try:  # a prebuilt installed extension wins
+        from repro._native import _native_kernel as module  # type: ignore
+    except ImportError:
+        pass
+
+    if module is None:
+        try:
+            import cffi  # noqa: F401
+        except ImportError:
+            return "no-cffi", "cffi is not installed", None, None
+        if _find_compiler() is None:
+            return "no-compiler", "no C compiler on PATH", None, None
+        try:
+            path = _build_on_demand()
+        except Exception as exc:
+            return "build-failed", f"{type(exc).__name__}: {exc}", None, None
+        try:
+            module = _import_extension(path)
+        except Exception as exc:
+            return "load-failed", f"{type(exc).__name__}: {exc}", None, None
+
+    ffi, lib = module.ffi, module.lib
+    detail = ""
+    for provider in ("svml", "libm"):
+        if provider == "svml":
+            umath = _numpy_umath_path()
+            if umath is None:
+                detail = "numpy umath shared object not found; "
+                continue
+            rc = lib.repro_native_init(umath.encode(), 1)
+            if rc != 1:
+                detail += f"svml init failed (rc={rc}); "
+                continue
+        else:
+            lib.repro_native_init(b"", 0)
+        kernels = NativeKernels(ffi, lib, provider)
+        try:
+            mismatch = _certify(kernels)
+        except Exception as exc:  # pragma: no cover - probe crash
+            mismatch = f"{type(exc).__name__}: {exc}"
+        if mismatch is None:
+            return "native", f"provider={provider}", provider, kernels
+        detail += f"{provider}: {mismatch}; "
+    return "certification-failed", detail.strip("; "), None, None
+
+
+def load() -> NativeKernels | None:
+    """The certified native kernels, or ``None`` (cached per process)."""
+    global _RESULT
+    if _RESULT is None:
+        _RESULT = _load_uncached()
+    return _RESULT[3]
+
+
+def availability() -> dict:
+    """Loader outcome: ``status``/``detail``/``provider`` (forces a load)."""
+    load()
+    status, detail, provider, _kernels = _RESULT
+    return {"status": status, "detail": detail, "provider": provider}
+
+
+def invalidate() -> None:
+    """Drop the cached loader outcome (tests flip env knobs around this)."""
+    global _RESULT
+    _RESULT = None

@@ -38,6 +38,7 @@ from repro.core.output import network_to_json, network_to_xml
 from repro.data.io import read_expression_tsv, write_expression_tsv
 from repro.data.synthetic import make_module_dataset, thaliana_like, yeast_like
 from repro.datatypes import ExpressionMatrix
+from repro.scoring.kernel import KERNEL_BACKENDS
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -165,6 +166,13 @@ def _add_topology_arg(parser: argparse.ArgumentParser) -> None:
                              "cross-domain stealing on multi-domain dynamic "
                              "dispatch (placement only — results are "
                              "bit-identical)")
+    parser.add_argument("--kernel-backend", choices=list(KERNEL_BACKENDS),
+                        default="auto",
+                        help="split-scoring backend: the NumPy oracle "
+                             "(numpy), the certified native extension "
+                             "(native; errors when unavailable), or probe "
+                             "and fall back (auto) — backends are "
+                             "bit-identical, this is purely a speed knob")
 
 
 def _parallel_config(args: argparse.Namespace) -> ParallelConfig:
@@ -176,6 +184,7 @@ def _parallel_config(args: argparse.Namespace) -> ParallelConfig:
         checkpoint_dir=getattr(args, "checkpoint_dir", None),
         topology=getattr(args, "topology", "auto"),
         steal=not getattr(args, "no_steal", False),
+        kernel_backend=getattr(args, "kernel_backend", "auto"),
     )
 
 

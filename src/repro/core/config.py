@@ -45,6 +45,13 @@ class ParallelConfig:
     #: behaviour), or an explicit
     #: :class:`repro.parallel.topology.MachineTopology`
     topology: object = "auto"
+    #: split-scoring backend: "numpy" (the oracle), "native" (the
+    #: certified compiled extension; constructing a kernel raises when it
+    #: is unavailable) or "auto" (use native when it builds, loads and
+    #: passes bit-identity certification, else fall back to NumPy).
+    #: Backends are bit-identical by construction, so this is purely a
+    #: speed knob.
+    kernel_backend: str = "auto"
 
     def __post_init__(self) -> None:
         if self.n_workers < 0:
@@ -55,6 +62,10 @@ class ParallelConfig:
             raise ValueError("schedule must be 'static' or 'dynamic'")
         if not isinstance(self.steal, bool):
             raise ValueError("steal must be a bool")
+        if self.kernel_backend not in ("auto", "numpy", "native"):
+            raise ValueError(
+                "kernel_backend must be 'auto', 'numpy' or 'native'"
+            )
         topology = self.topology
         if isinstance(topology, str):
             if topology not in ("auto", "flat"):

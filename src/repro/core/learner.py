@@ -37,6 +37,7 @@ from repro.ganesh.coclustering import (
     run_replicated_ganesh,
 )
 from repro.rng.streams import GibbsRandom, IndexedStream, make_stream
+from repro.scoring.kernel import consume_kernel_totals
 from repro.scoring.split_score import SplitScorer
 from repro.trees.hierarchy import build_tree_structure
 from repro.trees.parents import accumulate_parent_scores
@@ -86,6 +87,10 @@ class LemonTreeLearner:
         if checkpoint_dir is None:
             checkpoint_dir = config.parallel.checkpoint_dir
         data = matrix.values
+        if trace is not None:
+            # Discard counters accumulated by earlier un-traced runs in this
+            # process so the trace covers exactly this invocation.
+            consume_kernel_totals()
         executor = self._make_executor(data, seed, checkpoint_dir)
         try:
             t0 = time.perf_counter()
@@ -108,6 +113,10 @@ class LemonTreeLearner:
             trace.mark_time("consensus", t2 - t1)
             trace.mark_time("modules", t3 - t2)
             trace.n_ganesh_runs = config.n_ganesh_runs
+            # Kernels scored in *this* process (serial path, or driver-side
+            # work) accumulate in the process-global counters; pool workers
+            # ship their deltas with each task result.
+            trace.mark_kernel(consume_kernel_totals())
 
         network = ModuleNetwork(modules, matrix.var_names, matrix.n_obs)
         times = TaskTimes(ganesh=t1 - t0, consensus=t2 - t1, modules=t3 - t2)
@@ -217,12 +226,15 @@ class LemonTreeLearner:
                     raise ValueError(f"variable {var} appears in two modules")
                 seen.add(var)
         t0 = time.perf_counter()
+        if trace is not None:
+            consume_kernel_totals()  # discard earlier runs' counters
         modules = self._task_modules(
             matrix.values, modules_members, seed, trace, checkpoint_dir
         )
         elapsed = time.perf_counter() - t0
         if trace is not None:
             trace.mark_time("modules", elapsed)
+            trace.mark_kernel(consume_kernel_totals())
         network = ModuleNetwork(modules, matrix.var_names, matrix.n_obs)
         return LearnResult(
             network=network,

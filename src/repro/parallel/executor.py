@@ -235,6 +235,9 @@ def _executor_init(
         kernel_mod.set_chunk_elements(placement.chunk_elements(worker_index))
     elif kernel_chunk_elements is not None:
         kernel_mod.set_chunk_elements(kernel_chunk_elements)
+    parallel = getattr(config, "parallel", None)
+    if parallel is not None:
+        kernel_mod.set_kernel_backend(parallel.kernel_backend)
     _STATE["domain"] = domain
     _STATE["steal"] = steal_shared
     shm, data = _attach_shared(matrix_spec)
@@ -294,8 +297,9 @@ def _generic_run(payload):
 
     Runs ``fn(ctx, item)`` and ships back the item's dispatch index (so
     the driver reassembles results in item order whatever the completion
-    order), the worker pid, the worker's NUMA domain and the task's wall
-    time.
+    order), the worker pid, the worker's NUMA domain, the task's wall
+    time and this process's drained kernel-counter delta (``None`` when
+    the task scored nothing).
     """
     fn, index, item = payload
     t0 = time.perf_counter()
@@ -306,6 +310,7 @@ def _generic_run(payload):
         os.getpid(),
         _STATE.get("domain", 0),
         time.perf_counter() - t0,
+        kernel_mod.consume_kernel_totals(),
     )
 
 
@@ -323,7 +328,7 @@ def _steal_run(queue_timeout):
     siblings rather than deadlocking.
 
     Returns ``(index, result, pid, worker_domain, item_home_domain,
-    stolen, seconds)``; ``None`` when every reservation is already taken —
+    stolen, seconds, kernel_totals)``; ``None`` when every reservation is already taken —
     only possible after a sibling crashed between reserving and returning,
     in which case the driver's crash polling raises
     :class:`WorkerCrashedError` anyway.
@@ -352,6 +357,7 @@ def _steal_run(queue_timeout):
         home,
         domain != my_domain,
         time.perf_counter() - t0,
+        kernel_mod.consume_kernel_totals(),
     )
 
 
@@ -691,6 +697,7 @@ class TaskPoolExecutor:
         self._expected_inits = 0
         self._serial_ready = False
         self._prev_chunk_elements: int | None | bool = False  # False = unset
+        self._prev_kernel_backend: str | bool = False  # False = unset
         self._flush_barrier = None
         self._flush_timeout = 30.0
         #: (queues, pending, lock) domain-affine steal scaffolding; created
@@ -739,6 +746,9 @@ class TaskPoolExecutor:
                 # Restore whatever kernel chunk default the driver had.
                 kernel_mod.set_chunk_elements(self._prev_chunk_elements)
                 self._prev_chunk_elements = False
+            if self._prev_kernel_backend is not False:
+                kernel_mod.set_kernel_backend(self._prev_kernel_backend)
+                self._prev_kernel_backend = False
 
     def _drain_checkpoint_writers(self, pool) -> None:
         """Flush every worker's async checkpoint writer before teardown.
@@ -834,6 +844,12 @@ class TaskPoolExecutor:
             self._prev_chunk_elements = kernel_mod.set_chunk_elements(
                 self.kernel_chunk_elements
             )
+        if self._prev_kernel_backend is False:
+            parallel = getattr(self.config, "parallel", None)
+            if parallel is not None:
+                self._prev_kernel_backend = kernel_mod.set_kernel_backend(
+                    parallel.kernel_backend
+                )
 
     def _ensure_serial(self) -> None:
         """Install the in-process scoring state (n_workers == 1 path)."""
@@ -912,6 +928,8 @@ class TaskPoolExecutor:
             ctx = self._serial_ctx()
             for index in order:
                 results[index] = fn(ctx, items[index])
+            if trace is not None:
+                trace.mark_kernel(kernel_mod.consume_kernel_totals())
             return results
 
         pool = self._ensure_pool()
@@ -932,10 +950,12 @@ class TaskPoolExecutor:
             it = pool.imap_unordered(_generic_run, payloads, chunksize or 1)
             raw = self._collect_crash_aware(it, len(payloads))
         self.stats.tasks_dispatched += len(payloads)
-        for index, result, pid, domain, secs in raw:
+        for index, result, pid, domain, secs, kernel_totals in raw:
             results[index] = result
             busy[pid] = busy.get(pid, 0.0) + secs
             domain_busy[domain] = domain_busy.get(domain, 0.0) + secs
+            if trace is not None:
+                trace.mark_kernel(kernel_totals)
         if trace is not None:
             self._record_worker_times(trace, busy, domain_busy)
         return results
@@ -1028,10 +1048,12 @@ class TaskPoolExecutor:
         stolen_secs: dict[int, float] = {}
         local_by_domain: dict[int, float] = {}
         stolen_by_domain: dict[int, float] = {}
-        for index, result, pid, domain, home, stolen, secs in raw:
+        for index, result, pid, domain, home, stolen, secs, kernel_totals in raw:
             results[index] = result
             busy[pid] = busy.get(pid, 0.0) + secs
             domain_busy[domain] = domain_busy.get(domain, 0.0) + secs
+            if trace is not None:
+                trace.mark_kernel(kernel_totals)
             if stolen:
                 steals[pid] = steals.get(pid, 0) + 1
                 stolen_secs[pid] = stolen_secs.get(pid, 0.0) + secs

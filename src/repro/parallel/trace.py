@@ -88,6 +88,11 @@ class WorkTrace:
     #: the executor's placement plan (``Placement.describe()``): machine
     #: topology plus the worker->domain map, for benchmark reports
     topology: dict | None = None
+    #: aggregated split-scoring kernel counters across every process that
+    #: scored splits: ``hits`` / ``evaluations`` (cache behaviour),
+    #: ``peak_chunk_elements`` (largest guarded temporary) and
+    #: ``backends`` (the resolved backend names actually used)
+    kernel_counters: dict = field(default_factory=dict)
 
     # -- recording (the learner's hook) -----------------------------------
     def record(
@@ -137,6 +142,25 @@ class WorkTrace:
         the item) or stolen (a foreign worker drained it)."""
         target = self.domain_stolen_times if stolen else self.domain_local_times
         target[domain] = target.get(domain, 0.0) + float(seconds)
+
+    def mark_kernel(self, counters: dict | None) -> None:
+        """Merge one process's drained kernel-counter delta (see
+        :func:`repro.scoring.kernel.consume_kernel_totals`); ``None`` (the
+        task scored nothing) is accepted and ignored."""
+        if not counters:
+            return
+        agg = self.kernel_counters
+        agg["hits"] = agg.get("hits", 0) + int(counters.get("hits", 0))
+        agg["evaluations"] = agg.get("evaluations", 0) + int(
+            counters.get("evaluations", 0)
+        )
+        agg["peak_chunk_elements"] = max(
+            agg.get("peak_chunk_elements", 0),
+            int(counters.get("peak_chunk_elements", 0)),
+        )
+        agg["backends"] = sorted(
+            set(agg.get("backends", [])) | set(counters.get("backends", []))
+        )
 
     def total_steals(self) -> int:
         """Cross-domain steals summed over all workers."""
@@ -341,6 +365,7 @@ def save_trace(trace: WorkTrace, path) -> None:
         "domain_local_times": trace.domain_local_times,
         "domain_stolen_times": trace.domain_stolen_times,
         "topology": trace.topology,
+        "kernel_counters": trace.kernel_counters,
         "steps": [
             {
                 "phase": s.phase,
@@ -383,6 +408,7 @@ def load_trace(path) -> WorkTrace:
             k: float(v) for k, v in meta.get("domain_stolen_times", {}).items()
         }
         trace.topology = meta.get("topology")
+        trace.kernel_counters = meta.get("kernel_counters") or {}
         for i, step in enumerate(meta["steps"]):
             trace.steps.append(
                 TraceStep(

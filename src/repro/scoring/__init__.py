@@ -12,14 +12,23 @@
   variance drives the load imbalance studied in Section 5.3.1.
 * :mod:`repro.scoring.kernel` — the lazy-margin split-scoring kernel:
   memoized, deduplicated beta-grid scores straight from the ``(P, n_obs)``
-  parent-value slice, never materializing the dense margins matrix.
+  parent-value slice, never materializing the dense margins matrix.  Chunk
+  evaluation runs on a selectable backend (``kernel_backend``): the NumPy
+  oracle, or the native-compiled extension in :mod:`repro._native` that is
+  certified bit-identical to it at load time.
 """
 
 from repro.scoring.kernel import (
+    KERNEL_BACKENDS,
     AllocationCapExceeded,
     DenseScoreMemo,
     LazySplitKernel,
+    active_kernel_backend,
     allocation_cap,
+    configured_kernel_backend,
+    consume_kernel_totals,
+    resolve_kernel_backend,
+    set_kernel_backend,
     split_kernel_from_arrays,
 )
 from repro.scoring.normal_gamma import NormalGammaPrior, log_marginal
@@ -37,4 +46,10 @@ __all__ = [
     "split_kernel_from_arrays",
     "allocation_cap",
     "AllocationCapExceeded",
+    "KERNEL_BACKENDS",
+    "set_kernel_backend",
+    "configured_kernel_backend",
+    "resolve_kernel_backend",
+    "active_kernel_backend",
+    "consume_kernel_totals",
 ]

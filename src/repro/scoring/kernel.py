@@ -41,6 +41,7 @@ node whose margins matrix is impossible to build while the kernel scores it.
 
 from __future__ import annotations
 
+import warnings
 from contextlib import contextmanager
 
 import numpy as np
@@ -55,6 +56,128 @@ DEFAULT_CHUNK_ELEMENTS = 1 << 18
 _CONFIGURED_CHUNK_ELEMENTS: int | None = None
 
 _CAP: int | None = None
+
+#: the valid ``ParallelConfig.kernel_backend`` / CLI ``--kernel-backend``
+#: values: the pure-NumPy oracle, the native-compiled extension, or probe
+KERNEL_BACKENDS = ("auto", "numpy", "native")
+
+_CONFIGURED_BACKEND: str = "auto"
+
+_WARNED_NATIVE_FALLBACK = False
+
+#: process-wide kernel counter accumulator (hits / evaluations /
+#: peak_chunk_elements / backends seen) drained by the executor and the
+#: learner into ``WorkTrace.kernel_counters``
+_TOTALS = {"hits": 0, "evaluations": 0, "peak_chunk_elements": 0}
+_TOTALS_BACKENDS: set[str] = set()
+
+
+def set_kernel_backend(name: str | None) -> str | None:
+    """Install the process-wide scoring-backend selection.
+
+    Mirrors :func:`set_chunk_elements`: the executor calls this in every
+    pool worker (and on its own serial path) with
+    ``ParallelConfig.kernel_backend``, so kernels constructed deep inside
+    module learning pick the configured backend without threading a
+    parameter through every layer.  Returns the previous value so callers
+    can restore it; ``None`` reverts to ``"auto"``.
+    """
+    global _CONFIGURED_BACKEND
+    if name is not None and name not in KERNEL_BACKENDS:
+        raise ValueError(
+            f"kernel backend must be one of {KERNEL_BACKENDS}, got {name!r}"
+        )
+    previous = _CONFIGURED_BACKEND
+    _CONFIGURED_BACKEND = "auto" if name is None else name
+    return previous
+
+
+def configured_kernel_backend() -> str:
+    """The configured (unresolved) backend selection for this process."""
+    return _CONFIGURED_BACKEND
+
+
+def resolve_kernel_backend(name: str | None = None):
+    """Resolve a backend request to ``(backend_name, native_or_None)``.
+
+    ``"numpy"`` never touches the extension.  ``"native"`` demands the
+    certified native kernels and raises :class:`RuntimeError` when they
+    are unavailable — an explicit request must not silently degrade.
+    ``"auto"`` (and ``None``, meaning the process-wide configuration)
+    probes availability: the extension is used when it builds, loads and
+    passes its bit-identity certification, otherwise NumPy is used — with
+    a one-time warning if the native path *failed* rather than being
+    expectedly absent (no cffi, no compiler, ``REPRO_NATIVE_DISABLE``).
+    """
+    global _WARNED_NATIVE_FALLBACK
+    if name is None:
+        name = _CONFIGURED_BACKEND
+    if name not in KERNEL_BACKENDS:
+        raise ValueError(
+            f"kernel backend must be one of {KERNEL_BACKENDS}, got {name!r}"
+        )
+    if name == "numpy":
+        return "numpy", None
+    from repro import _native
+
+    kernels = _native.load()
+    if kernels is not None:
+        return "native", kernels
+    info = _native.availability()
+    if name == "native":
+        raise RuntimeError(
+            "kernel_backend='native' but the native extension is "
+            f"unavailable ({info['status']}: {info['detail']})"
+        )
+    if info["status"] in _native.FAILURE_STATUSES and not _WARNED_NATIVE_FALLBACK:
+        _WARNED_NATIVE_FALLBACK = True
+        warnings.warn(
+            "native split-scoring backend unavailable "
+            f"({info['status']}: {info['detail']}); falling back to NumPy",
+            RuntimeWarning,
+            stacklevel=2,
+        )
+    return "numpy", None
+
+
+def active_kernel_backend() -> str:
+    """The backend new kernels will actually use (``auto`` resolved)."""
+    return resolve_kernel_backend()[0]
+
+
+def _account_totals(
+    hits: int = 0, evaluations: int = 0, peak: int = 0, backend: str | None = None
+) -> None:
+    _TOTALS["hits"] += hits
+    _TOTALS["evaluations"] += evaluations
+    if peak > _TOTALS["peak_chunk_elements"]:
+        _TOTALS["peak_chunk_elements"] = peak
+    if backend is not None:
+        _TOTALS_BACKENDS.add(backend)
+
+
+def consume_kernel_totals() -> dict | None:
+    """Drain the process-wide kernel counters (``None`` when untouched).
+
+    Pool workers ship the returned delta back with each task result and
+    the learner drains its own process at the end of a run, so
+    ``WorkTrace.kernel_counters`` aggregates cache behaviour across every
+    process that scored splits — whatever backend each one resolved.
+    """
+    if (
+        not _TOTALS["hits"]
+        and not _TOTALS["evaluations"]
+        and not _TOTALS["peak_chunk_elements"]
+        and not _TOTALS_BACKENDS
+    ):
+        return None
+    out = dict(_TOTALS)
+    out["backends"] = sorted(_TOTALS_BACKENDS)
+    _TOTALS["hits"] = 0
+    _TOTALS["evaluations"] = 0
+    _TOTALS["peak_chunk_elements"] = 0
+    _TOTALS_BACKENDS.clear()
+    return out
 
 
 def set_chunk_elements(n_elements: int | None) -> int | None:
@@ -155,7 +278,8 @@ class DenseScoreMemo:
         self.n_items, self.n_obs = self.margins.shape
         self._n_beta = self.beta_grid.size
         guard_alloc(self.n_items * self._n_beta, "dense beta-score cache")
-        self._cache = np.full(self.n_items * self._n_beta, np.nan)
+        self._cache = np.zeros(self.n_items * self._n_beta)
+        self._seen = np.zeros(self.n_items * self._n_beta, dtype=bool)
         self.hits = 0
         self.evaluations = 0
 
@@ -163,14 +287,14 @@ class DenseScoreMemo:
         flat = np.asarray(rows, dtype=np.int64) * self._n_beta + np.asarray(
             beta_idx, dtype=np.int64
         )
-        cached = self._cache[flat]
-        missing = np.isnan(cached)
-        self.hits += int(flat.size - missing.sum())
+        missing = ~self._seen[flat]
+        hits = int(flat.size - missing.sum())
+        self.hits += hits
+        _account_totals(hits=hits)
         if missing.any():
             keys = np.unique(flat[missing])
             self._evaluate(keys)
-            cached = self._cache[flat]
-        return cached
+        return self._cache[flat]
 
     def _evaluate(self, keys: np.ndarray) -> None:
         beta = keys % self._n_beta
@@ -182,8 +306,11 @@ class DenseScoreMemo:
             np.split(items, bounds), np.split(beta, bounds)
         ):
             z = self.margins[chunk_items] * self.beta_grid[chunk_beta[0]]
-            self._cache[chunk_items * self._n_beta + chunk_beta[0]] = row_scores(z)
+            idx = chunk_items * self._n_beta + chunk_beta[0]
+            self._cache[idx] = row_scores(z)
+            self._seen[idx] = True
         self.evaluations += int(keys.size)
+        _account_totals(evaluations=int(keys.size), backend="numpy")
 
 
 class LazySplitKernel:
@@ -197,6 +324,18 @@ class LazySplitKernel:
     chunks bounded by ``max_chunk_elements`` (and by any active
     :func:`allocation_cap`), and ``peak_chunk_elements`` records the largest
     temporary actually allocated.
+
+    ``backend`` selects who evaluates a chunk: the NumPy expressions or
+    the certified native extension (``None`` defers to the process-wide
+    :func:`set_kernel_backend` configuration, ``"auto"`` by default).  The
+    native path replaces only the chunk evaluation body — grouping, the
+    memo cache, chunk sizing, :func:`guard_alloc` and all counters stay in
+    Python — so cap semantics and cache accounting are identical by
+    construction, and scores are bit-identical by the extension's load-time
+    certification.  Cached scores are tracked by an explicit seen-bitmask,
+    not a NaN sentinel, so a legitimately non-finite score (a row mixing
+    ``+inf`` and ``-inf`` margins sums to NaN) is cached like any other
+    value instead of re-evaluating on every lookup.
     """
 
     def __init__(
@@ -206,6 +345,7 @@ class LazySplitKernel:
         beta_grid,
         *,
         max_chunk_elements: int | None = None,
+        backend: str | None = None,
     ) -> None:
         self.values = np.ascontiguousarray(values, dtype=np.float64)
         if self.values.ndim != 2:
@@ -218,6 +358,7 @@ class LazySplitKernel:
         self.n_items = self.n_parents * self.n_obs
         self._n_beta = self.beta_grid.size
         self.max_chunk_elements = int(max_chunk_elements or configured_chunk_elements())
+        self.backend, self._native = resolve_kernel_backend(backend)
         guard_alloc(self.n_items, "parent-value slice")
 
         # Group candidates by (parent row, value): duplicates share a row of
@@ -241,7 +382,8 @@ class LazySplitKernel:
         )
         self.n_groups = int(offset)
         guard_alloc(self.n_groups * self._n_beta, "beta-score cache")
-        self._cache = np.full(self.n_groups * self._n_beta, np.nan)
+        self._cache = np.zeros(self.n_groups * self._n_beta)
+        self._seen = np.zeros(self.n_groups * self._n_beta, dtype=bool)
         self.hits = 0
         self.evaluations = 0
         self.peak_chunk_elements = 0
@@ -260,14 +402,14 @@ class LazySplitKernel:
         flat = np.asarray(groups, dtype=np.int64) * self._n_beta + np.asarray(
             beta_idx, dtype=np.int64
         )
-        cached = self._cache[flat]
-        missing = np.isnan(cached)
-        self.hits += int(flat.size - missing.sum())
+        missing = ~self._seen[flat]
+        hits = int(flat.size - missing.sum())
+        self.hits += hits
+        _account_totals(hits=hits)
         if missing.any():
             keys = np.unique(flat[missing])
             self._evaluate(keys)
-            cached = self._cache[flat]
-        return cached
+        return self._cache[flat]
 
     def _chunk_rows(self) -> int:
         limit = self.max_chunk_elements
@@ -292,15 +434,40 @@ class LazySplitKernel:
                     chunk.size * self.n_obs, "lazy-margin evaluation chunk"
                 )
                 self.peak_chunk_elements = max(self.peak_chunk_elements, n_elements)
-                # The dense path's exact operation order: subtract values,
-                # multiply by sign, multiply by beta, stable log-sigmoid row
-                # sum.  Each step is elementwise, so laziness cannot change
-                # a single bit of the result.
-                diff = self.group_value[chunk][:, None] - self.values[self.group_row[chunk]]
-                margin = self.sign * diff
-                z = margin * grid_beta
-                self._cache[chunk * self._n_beta + beta_vals[0]] = row_scores(z)
+                idx = chunk * self._n_beta + beta_vals[0]
+                if self._native is not None:
+                    # The certified extension computes the exact chunk body
+                    # below (same operation order, same libm entry points as
+                    # NumPy) with the GIL released; grouping, chunk sizing
+                    # and the cap guard above stay in Python, so allocation
+                    # semantics are shared with the NumPy path.
+                    out = np.empty(chunk.size)
+                    self._native.eval_chunk(
+                        np.ascontiguousarray(self.group_value[chunk]),
+                        np.ascontiguousarray(self.group_row[chunk]),
+                        self.values,
+                        self.sign,
+                        float(grid_beta),
+                        SCORE_QUANTUM,
+                        out,
+                    )
+                    self._cache[idx] = out
+                else:
+                    # The dense path's exact operation order: subtract
+                    # values, multiply by sign, multiply by beta, stable
+                    # log-sigmoid row sum.  Each step is elementwise, so
+                    # laziness cannot change a single bit of the result.
+                    diff = self.group_value[chunk][:, None] - self.values[self.group_row[chunk]]
+                    margin = self.sign * diff
+                    z = margin * grid_beta
+                    self._cache[idx] = row_scores(z)
+                self._seen[idx] = True
         self.evaluations += int(keys.size)
+        _account_totals(
+            evaluations=int(keys.size),
+            peak=self.peak_chunk_elements,
+            backend=self.backend,
+        )
 
 
 def split_kernel_from_arrays(
@@ -311,6 +478,7 @@ def split_kernel_from_arrays(
     beta_grid,
     *,
     max_chunk_elements: int | None = None,
+    backend: str | None = None,
 ) -> LazySplitKernel:
     """A node's lazy kernel from raw arrays (the worker-friendly twin of
     :func:`repro.trees.splits.margins_from_arrays`).
@@ -323,5 +491,6 @@ def split_kernel_from_arrays(
     sign = np.where(np.isin(obs, left_obs), 1.0, -1.0)
     values = data[np.asarray(parents, dtype=np.int64)][:, obs]
     return LazySplitKernel(
-        values, sign, beta_grid, max_chunk_elements=max_chunk_elements
+        values, sign, beta_grid, max_chunk_elements=max_chunk_elements,
+        backend=backend,
     )

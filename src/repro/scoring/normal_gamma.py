@@ -33,6 +33,17 @@ from scipy.special import gammaln
 _LOG_2PI = math.log(2.0 * math.pi)
 
 
+def _native_kernels():
+    """The certified native kernels, or ``None`` on the NumPy backend.
+
+    Resolution honours the process-wide ``kernel_backend`` configuration
+    (lazy import — :mod:`repro.scoring.kernel` imports nothing from here,
+    but keeping it out of module scope avoids ordering surprises)."""
+    from repro.scoring.kernel import resolve_kernel_backend
+
+    return resolve_kernel_backend()[1]
+
+
 @dataclass(frozen=True)
 class NormalGammaPrior:
     """Conjugate prior for the per-block Gaussian.
@@ -83,6 +94,21 @@ def log_marginal(
     n = np.asarray(count, dtype=np.float64)
     s = np.asarray(total, dtype=np.float64)
     q = np.asarray(sumsq, dtype=np.float64)
+
+    if not scalar and n.size and n.shape == s.shape == q.shape:
+        native = _native_kernels()
+        if native is not None:
+            # gammaln stays in SciPy (same call both ways); the certified
+            # extension replicates the remaining expression bit for bit.
+            alpha_n = prior.alpha0 + n / 2.0
+            out = native.log_marginal(
+                np.ascontiguousarray(n).ravel(),
+                np.ascontiguousarray(s).ravel(),
+                np.ascontiguousarray(q).ravel(),
+                np.ascontiguousarray(gammaln(alpha_n)).ravel(),
+                prior,
+            )
+            return out.reshape(n.shape)
 
     n_safe = np.where(n > 0, n, 1.0)
     xbar = s / n_safe

@@ -1,0 +1,523 @@
+"""Tests for the native-compiled split-scoring backend.
+
+Three contracts:
+
+* **resolution semantics** — ``kernel_backend`` validation on
+  :class:`ParallelConfig` and the CLI; ``"native"`` raises when the
+  extension is unavailable while ``"auto"`` silently falls back to NumPy
+  for *expected* absence (disabled, no cffi, no compiler) and warns once
+  only for genuine failures;
+* **bit identity** — the native chunk evaluator, grouped statistics and
+  normal-gamma tail agree with the NumPy oracle bit for bit, property-based
+  over random shapes, duplicate-heavy rows, sub-range ``item_indices``,
+  both RNG stream backends, extreme magnitudes and an active
+  ``allocation_cap`` (which must raise the same
+  :class:`AllocationCapExceeded` wherever the NumPy path would);
+* **seen-bitmask caching** — a legitimately non-finite score is cached
+  like any other value instead of reading as a perpetual miss, and the
+  kernel counters flow into :class:`WorkTrace.kernel_counters` from both
+  the serial path and spawn pool workers.
+
+All native-vs-numpy tests skip cleanly when the extension cannot build
+(no cffi / no C compiler); the resolution-semantics and seen-bitmask tests
+run everywhere.
+"""
+
+import warnings
+from unittest import mock
+
+import numpy as np
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+import repro.scoring.kernel as kernel_mod
+from repro import _native
+from repro.core.config import LearnerConfig, ParallelConfig
+from repro.rng.streams import make_stream
+from repro.scoring.kernel import (
+    AllocationCapExceeded,
+    KERNEL_BACKENDS,
+    LazySplitKernel,
+    allocation_cap,
+    consume_kernel_totals,
+    resolve_kernel_backend,
+    set_kernel_backend,
+    split_kernel_from_arrays,
+)
+from repro.scoring.normal_gamma import NormalGammaPrior, log_marginal
+from repro.scoring.split_score import SplitScorer
+from repro.scoring.suffstats import StatsArrays
+
+NATIVE = _native.load() is not None
+needs_native = pytest.mark.skipif(
+    not NATIVE,
+    reason=f"native backend unavailable ({_native.availability()['status']})",
+)
+BACKENDS = ["numpy"] + (["native"] if NATIVE else [])
+
+
+def _uniform_block(n_items, dpi, seed=0, backend="philox"):
+    return (
+        make_stream(seed, "u", backend=backend)
+        .block(0, n_items * dpi)
+        .reshape(n_items, dpi)
+    )
+
+
+def _node_arrays(seed, n_vars=20, n_obs=14, n_parents=5, duplicates=False, scale=1.0):
+    rng = np.random.default_rng(seed)
+    data = rng.normal(size=(n_vars, n_obs)) * scale
+    if duplicates:
+        data = np.round(data / scale) * scale
+    obs = np.arange(n_obs, dtype=np.int64)
+    left_obs = rng.choice(obs, size=max(1, n_obs // 2), replace=False)
+    parents = rng.choice(n_vars, size=n_parents, replace=False).astype(np.int64)
+    return data, obs, left_obs, parents
+
+
+# -- resolution semantics ----------------------------------------------------
+
+
+class TestBackendConfig:
+    def test_parallel_config_accepts_backends(self):
+        for name in KERNEL_BACKENDS:
+            assert ParallelConfig(kernel_backend=name).kernel_backend == name
+
+    def test_parallel_config_rejects_unknown(self):
+        with pytest.raises(ValueError, match="kernel_backend"):
+            ParallelConfig(kernel_backend="cuda")
+
+    def test_learner_config_embeds_backend(self):
+        cfg = LearnerConfig(parallel=ParallelConfig(kernel_backend="numpy"))
+        assert cfg.parallel.kernel_backend == "numpy"
+
+    def test_set_kernel_backend_roundtrip(self):
+        prev = set_kernel_backend("numpy")
+        try:
+            assert kernel_mod.configured_kernel_backend() == "numpy"
+            assert resolve_kernel_backend() == ("numpy", None)
+        finally:
+            set_kernel_backend(prev)
+
+    def test_set_kernel_backend_rejects_unknown(self):
+        with pytest.raises(ValueError):
+            set_kernel_backend("fortran")
+
+    def test_numpy_never_touches_extension(self):
+        name, kernels = resolve_kernel_backend("numpy")
+        assert name == "numpy" and kernels is None
+
+    def test_cli_flag_flows_into_config(self):
+        from repro.cli import _parallel_config, build_parser
+
+        parser = build_parser()
+        args = parser.parse_args(
+            ["modules", "--preset", "yeast", "--modules-file", "x.json",
+             "--kernel-backend", "numpy"]
+        )
+        assert _parallel_config(args).kernel_backend == "numpy"
+
+
+class TestAutoFallback:
+    def test_disabled_is_silent(self, monkeypatch):
+        """``REPRO_NATIVE_DISABLE`` is expected absence: auto falls back to
+        NumPy without warning, explicit native raises."""
+        monkeypatch.setenv("REPRO_NATIVE_DISABLE", "1")
+        monkeypatch.setattr(kernel_mod, "_WARNED_NATIVE_FALLBACK", False)
+        _native.invalidate()
+        try:
+            assert _native.load() is None
+            assert _native.availability()["status"] == "disabled"
+            with warnings.catch_warnings():
+                warnings.simplefilter("error")
+                name, kernels = resolve_kernel_backend("auto")
+            assert name == "numpy" and kernels is None
+            with pytest.raises(RuntimeError, match="native"):
+                resolve_kernel_backend("native")
+            kernel = LazySplitKernel(
+                np.zeros((2, 3)), np.ones(3), (1.0,), backend="auto"
+            )
+            assert kernel.backend == "numpy"
+        finally:
+            monkeypatch.delenv("REPRO_NATIVE_DISABLE")
+            _native.invalidate()
+
+    @needs_native
+    def test_native_available_resolves_native(self):
+        name, kernels = resolve_kernel_backend("auto")
+        assert name == "native" and kernels is not None
+        assert _native.availability()["status"] == "native"
+        assert kernels.provider in ("svml", "libm")
+
+
+# -- bit identity: the split kernel ------------------------------------------
+
+
+@needs_native
+class TestSplitKernelBitIdentity:
+    def _compare(self, data, obs, left_obs, parents, scorer, uniforms):
+        results = {}
+        for backend in ("numpy", "native"):
+            kernel = split_kernel_from_arrays(
+                data, obs, left_obs, parents, scorer.beta_grid, backend=backend
+            )
+            chain = scorer.score_batch_kernel(kernel, uniforms)
+            best = scorer.score_grid_best_kernel(kernel)
+            results[backend] = (kernel, chain, best)
+        numpy_kernel, numpy_chain, numpy_best = results["numpy"]
+        native_kernel, native_chain, native_best = results["native"]
+        for got, want in zip(native_chain, numpy_chain):
+            np.testing.assert_array_equal(got, want)
+        for got, want in zip(native_best, numpy_best):
+            np.testing.assert_array_equal(got, want)
+        np.testing.assert_array_equal(native_kernel._seen, numpy_kernel._seen)
+        np.testing.assert_array_equal(
+            native_kernel._cache[native_kernel._seen],
+            numpy_kernel._cache[numpy_kernel._seen],
+        )
+        assert native_kernel.evaluations == numpy_kernel.evaluations
+        assert native_kernel.hits == numpy_kernel.hits
+
+    @settings(
+        max_examples=30,
+        deadline=None,
+        suppress_health_check=[HealthCheck.too_slow],
+    )
+    @given(
+        seed=st.integers(0, 2**31 - 1),
+        n_vars=st.integers(2, 12),
+        n_obs=st.integers(1, 24),
+        n_parents=st.integers(1, 6),
+        duplicates=st.booleans(),
+        scale=st.sampled_from([1.0, 1e-3, 1e6, 1e154]),
+        rng_backend=st.sampled_from(["philox", "mrg"]),
+    )
+    def test_property_chain_and_grid(
+        self, seed, n_vars, n_obs, n_parents, duplicates, scale, rng_backend
+    ):
+        n_parents = min(n_parents, n_vars)
+        data, obs, left_obs, parents = _node_arrays(
+            seed, n_vars=n_vars, n_obs=n_obs, n_parents=n_parents,
+            duplicates=duplicates, scale=scale,
+        )
+        scorer = SplitScorer(max_steps=5, stop_repeats=2)
+        uniforms = _uniform_block(
+            parents.size * obs.size, scorer.draws_per_item, seed, rng_backend
+        )
+        self._compare(data, obs, left_obs, parents, scorer, uniforms)
+
+    def test_subrange_item_indices(self):
+        """The partitioned backends score [row0, row1) slices against a
+        kernel built on a parent sub-slice — native must reproduce the
+        NumPy kernel on exactly this arithmetic."""
+        data, obs, left_obs, parents = _node_arrays(11, n_parents=6)
+        scorer = SplitScorer(max_steps=5, stop_repeats=2)
+        n_obs = obs.size
+        n_items = parents.size * n_obs
+        uniforms = _uniform_block(n_items, scorer.draws_per_item, 11)
+        for row0, row1 in [(0, n_items), (3, 17), (n_obs, 3 * n_obs), (5, 6)]:
+            l0, l1 = row0 // n_obs, (row1 - 1) // n_obs + 1
+            items = np.arange(row0 - l0 * n_obs, row1 - l0 * n_obs)
+            parts = {}
+            for backend in ("numpy", "native"):
+                kernel = split_kernel_from_arrays(
+                    data, obs, left_obs, parents[l0:l1], scorer.beta_grid,
+                    backend=backend,
+                )
+                parts[backend] = scorer.score_batch_kernel(
+                    kernel, uniforms[row0:row1], item_indices=items
+                )
+            for got, want in zip(parts["native"], parts["numpy"]):
+                np.testing.assert_array_equal(got, want)
+
+    def test_allocation_cap_parity(self):
+        """Under a cap that blocks the dense margins matrix, the native
+        kernel chunks its evaluations exactly like the NumPy kernel (the
+        guard lives in shared Python code) and still matches bit for bit;
+        a cap that blocks construction raises for both backends."""
+        from repro.trees.splits import margins_from_arrays
+
+        data, obs, left_obs, parents = _node_arrays(
+            23, n_vars=40, n_obs=30, n_parents=10
+        )
+        scorer = SplitScorer(max_steps=4, stop_repeats=2)
+        n_items = parents.size * obs.size
+        cap = n_items * scorer.beta_grid.size + 4 * n_items
+        assert cap < n_items * obs.size
+        uniforms = _uniform_block(n_items, scorer.draws_per_item, 23)
+        out = {}
+        with allocation_cap(cap):
+            with pytest.raises(AllocationCapExceeded):
+                margins_from_arrays(data, obs, left_obs, parents)
+            for backend in ("numpy", "native"):
+                kernel = split_kernel_from_arrays(
+                    data, obs, left_obs, parents, scorer.beta_grid,
+                    backend=backend,
+                )
+                out[backend] = scorer.score_batch_kernel(kernel, uniforms)
+                assert kernel.peak_chunk_elements <= cap
+        for got, want in zip(out["native"], out["numpy"]):
+            np.testing.assert_array_equal(got, want)
+        with allocation_cap(10):
+            for backend in ("numpy", "native"):
+                with pytest.raises(AllocationCapExceeded):
+                    LazySplitKernel(
+                        np.zeros((4, 4)), np.ones(4), (1.0, 2.0), backend=backend
+                    )
+
+    def test_explicit_chunk_bound_parity(self):
+        data, obs, left_obs, parents = _node_arrays(29, n_obs=16, n_parents=8)
+        scorer = SplitScorer(max_steps=3)
+        out = {}
+        uniforms = _uniform_block(
+            parents.size * obs.size, scorer.draws_per_item, 29
+        )
+        for backend in ("numpy", "native"):
+            kernel = split_kernel_from_arrays(
+                data, obs, left_obs, parents, scorer.beta_grid,
+                max_chunk_elements=5 * obs.size, backend=backend,
+            )
+            out[backend] = scorer.score_batch_kernel(kernel, uniforms)
+            assert kernel.peak_chunk_elements <= 5 * obs.size
+        for got, want in zip(out["native"], out["numpy"]):
+            np.testing.assert_array_equal(got, want)
+
+
+# -- bit identity: grouped stats and the normal-gamma tail -------------------
+
+
+@needs_native
+class TestStatsBitIdentity:
+    @staticmethod
+    def _numpy_oracle():
+        import repro.scoring.normal_gamma as ng
+
+        return mock.patch.object(ng, "_native_kernels", lambda: None)
+
+    @settings(max_examples=30, deadline=None)
+    @given(
+        seed=st.integers(0, 2**31 - 1),
+        rows=st.integers(1, 40),
+        cols=st.integers(0, 20),
+        n_groups=st.integers(1, 8),
+        scale=st.sampled_from([1.0, 1e8]),
+    )
+    def test_grouped_property(self, seed, rows, cols, n_groups, scale):
+        rng = np.random.default_rng(seed)
+        if cols == 0:  # 1-D shape
+            vals = rng.normal(size=rows) * scale
+            labels = rng.integers(0, n_groups, size=rows)
+        else:
+            vals = rng.normal(size=(rows, cols)) * scale
+            labels = rng.integers(0, n_groups, size=cols)
+        native = StatsArrays.grouped(vals, labels, n_groups)
+        with self._numpy_oracle():
+            oracle = StatsArrays.grouped(vals, labels, n_groups)
+        np.testing.assert_array_equal(native.count, oracle.count)
+        np.testing.assert_array_equal(native.total, oracle.total)
+        np.testing.assert_array_equal(native.sumsq, oracle.sumsq)
+
+    def test_grouped_out_of_range_labels_fall_back(self):
+        """Labels beyond n_groups keep np.bincount's widening semantics."""
+        vals = np.arange(6, dtype=np.float64)
+        labels = np.arange(6)
+        stats = StatsArrays.grouped(vals, labels, 3)
+        assert len(stats) == 6  # widened, exactly as the NumPy path does
+
+    @settings(max_examples=30, deadline=None)
+    @given(
+        seed=st.integers(0, 2**31 - 1),
+        size=st.integers(1, 600),
+        empty_frac=st.sampled_from([0.0, 0.5]),
+        lambda0=st.sampled_from([0.1, 1.0]),
+        alpha0=st.sampled_from([0.1, 2.5]),
+    )
+    def test_log_marginal_property(self, seed, size, empty_frac, lambda0, alpha0):
+        rng = np.random.default_rng(seed)
+        count = rng.integers(0, 50, size=size).astype(np.float64)
+        count[rng.random(size) < empty_frac] = 0.0
+        total = rng.normal(size=size) * count
+        sumsq = total * total / np.maximum(count, 1.0) + np.abs(
+            rng.normal(size=size)
+        ) * count
+        prior = NormalGammaPrior(lambda0=lambda0, alpha0=alpha0)
+        native = log_marginal(count, total, sumsq, prior)
+        with self._numpy_oracle():
+            oracle = log_marginal(count, total, sumsq, prior)
+        np.testing.assert_array_equal(native, oracle)
+
+    def test_log_marginal_scalar_path_unchanged(self):
+        # Scalars never dispatch to the extension; the vectorized oracle
+        # and the pure-math scalar twin stay in close agreement.
+        from repro.scoring.normal_gamma import log_marginal_scalar
+
+        got = log_marginal(3.0, 1.5, 2.0)
+        assert isinstance(got, float)
+        assert got == pytest.approx(log_marginal_scalar(3.0, 1.5, 2.0), rel=1e-12)
+
+    def test_log_marginal_2d_shape_preserved(self):
+        rng = np.random.default_rng(0)
+        count = rng.integers(0, 9, size=(4, 5)).astype(np.float64)
+        total = rng.normal(size=(4, 5)) * count
+        sumsq = np.abs(rng.normal(size=(4, 5))) * count + total**2 / np.maximum(count, 1)
+        out = log_marginal(count, total, sumsq)
+        assert out.shape == (4, 5)
+        assert np.all(out[count == 0] == 0.0)
+
+
+# -- the seen-bitmask cache --------------------------------------------------
+
+
+class TestSeenBitmask:
+    @pytest.mark.parametrize("backend", BACKENDS)
+    def test_non_finite_score_cached(self, backend):
+        """A NaN score (infinite parent values make a margin row mix inf
+        and NaN) must hit the cache on re-lookup — under the old NaN
+        sentinel it re-evaluated on every call."""
+        values = np.array([[np.inf, -np.inf, 0.0, 1.0]])
+        sign = np.array([1.0, -1.0, 1.0, -1.0])
+        with np.errstate(all="ignore"):
+            kernel = LazySplitKernel(values, sign, (1.0,), backend=backend)
+            # The group holding the +inf candidate value scores NaN.
+            inf_group = kernel.item_groups[0]
+            g = np.array([inf_group], dtype=np.int64)
+            b = np.zeros(1, dtype=np.int64)
+            first = kernel.scores(g, b)
+            evals = kernel.evaluations
+            hits = kernel.hits
+            second = kernel.scores(g, b)
+        assert np.isnan(first[0]) and np.isnan(second[0])
+        assert kernel.evaluations == evals  # no re-evaluation
+        assert kernel.hits == hits + 1
+
+    def test_zero_score_cached(self):
+        """A legitimate exactly-0.0 score must not read as a miss (the
+        bitmask, not the cache value, tracks presence)."""
+        kernel = LazySplitKernel(np.zeros((1, 1)), np.zeros(1), (1.0,))
+        g = np.zeros(1, dtype=np.int64)
+        b = np.zeros(1, dtype=np.int64)
+        kernel.scores(g, b)
+        evals = kernel.evaluations
+        kernel.scores(g, b)
+        assert kernel.evaluations == evals
+
+
+# -- counters into WorkTrace -------------------------------------------------
+
+
+class TestKernelCounters:
+    def test_consume_returns_none_when_untouched(self):
+        consume_kernel_totals()  # drain whatever earlier tests left behind
+        assert consume_kernel_totals() is None
+
+    def test_consume_drains_and_resets(self):
+        consume_kernel_totals()
+        kernel = split_kernel_from_arrays(
+            *_node_arrays(3)[:4], (1.0, 2.0), backend="numpy"
+        )
+        kernel.scores(
+            np.zeros(4, dtype=np.int64), np.array([0, 0, 1, 1], dtype=np.int64)
+        )
+        totals = consume_kernel_totals()
+        assert totals is not None
+        assert totals["evaluations"] == kernel.evaluations
+        assert totals["hits"] == kernel.hits
+        assert totals["peak_chunk_elements"] == kernel.peak_chunk_elements
+        assert totals["backends"] == ["numpy"]
+        assert consume_kernel_totals() is None
+
+    def test_trace_merge_and_roundtrip(self, tmp_path):
+        from repro.parallel.trace import WorkTrace, load_trace, save_trace
+
+        trace = WorkTrace()
+        trace.mark_kernel(None)  # a task that scored nothing
+        assert trace.kernel_counters == {}
+        trace.mark_kernel(
+            {"hits": 5, "evaluations": 7, "peak_chunk_elements": 100,
+             "backends": ["numpy"]}
+        )
+        trace.mark_kernel(
+            {"hits": 1, "evaluations": 2, "peak_chunk_elements": 50,
+             "backends": ["native"]}
+        )
+        assert trace.kernel_counters == {
+            "hits": 6, "evaluations": 9, "peak_chunk_elements": 100,
+            "backends": ["native", "numpy"],
+        }
+        path = tmp_path / "trace.npz"
+        save_trace(trace, path)
+        assert load_trace(path).kernel_counters == trace.kernel_counters
+
+    def test_serial_learn_records_counters(self):
+        from repro.core.learner import LemonTreeLearner
+        from repro.data.synthetic import make_module_dataset
+        from repro.parallel.trace import WorkTrace
+
+        matrix = make_module_dataset(16, 10, n_modules=2, seed=7).matrix
+        config = LearnerConfig(max_sampling_steps=4)
+        learner = LemonTreeLearner(config)
+        members = learner.consensus(learner.sample_clusterings(matrix, seed=7))
+        trace = WorkTrace()
+        learner.learn_from_modules(matrix, members, seed=7, trace=trace)
+        counters = trace.kernel_counters
+        assert counters.get("evaluations", 0) > 0
+        assert counters["backends"]
+
+
+# -- spawn pool workers ------------------------------------------------------
+
+
+@pytest.mark.slow
+class TestPoolWorkers:
+    def _reference(self):
+        from repro.core.learner import LemonTreeLearner
+        from repro.data.synthetic import make_module_dataset
+
+        matrix = make_module_dataset(24, 12, n_modules=3, seed=42).matrix
+        config = LearnerConfig(
+            max_sampling_steps=5,
+            parallel=ParallelConfig(kernel_backend="numpy"),
+        )
+        learner = LemonTreeLearner(config)
+        members = learner.consensus(learner.sample_clusterings(matrix, seed=5))
+        reference = learner.learn_from_modules(matrix, members, seed=5).network
+        return matrix, members, reference
+
+    @needs_native
+    def test_native_pool_matches_numpy_sequential(self):
+        """Spawn workers resolve the native backend from module state (no
+        pickled kernels) and the learned network is bit-identical to the
+        sequential NumPy run."""
+        from repro.core.learner import LemonTreeLearner
+        from repro.parallel.trace import WorkTrace
+
+        matrix, members, reference = self._reference()
+        trace = WorkTrace()
+        cfg = LearnerConfig(
+            max_sampling_steps=5,
+            parallel=ParallelConfig(n_workers=2, kernel_backend="native"),
+        )
+        net = LemonTreeLearner(cfg).learn_from_modules(
+            matrix, members, seed=5, trace=trace
+        ).network
+        assert net == reference
+        assert "native" in trace.kernel_counters.get("backends", [])
+        assert trace.kernel_counters.get("evaluations", 0) > 0
+
+    def test_numpy_pool_records_counters(self):
+        from repro.core.learner import LemonTreeLearner
+        from repro.parallel.trace import WorkTrace
+
+        matrix, members, reference = self._reference()
+        trace = WorkTrace()
+        cfg = LearnerConfig(
+            max_sampling_steps=5,
+            parallel=ParallelConfig(n_workers=2, kernel_backend="numpy"),
+        )
+        net = LemonTreeLearner(cfg).learn_from_modules(
+            matrix, members, seed=5, trace=trace
+        ).network
+        assert net == reference
+        assert trace.kernel_counters.get("backends") == ["numpy"]
+        assert trace.kernel_counters.get("evaluations", 0) > 0
