@@ -61,6 +61,7 @@ from repro.parallel import (
     WorkTrace,
     project_time,
 )
+from repro.validation import SCENARIOS, run_matrix, run_scenario
 
 __version__ = "1.0.0"
 
@@ -87,6 +88,9 @@ __all__ = [
     "network_to_json",
     "network_from_json",
     "network_to_xml",
+    "SCENARIOS",
+    "run_matrix",
+    "run_scenario",
     "GenomicaLearner",
     "GenomicaConfig",
     "fit_network",

@@ -136,6 +136,34 @@ def build_parser() -> argparse.ArgumentParser:
     report = sub.add_parser("report", help="summarize a learned network")
     report.add_argument("--network", required=True, help="network JSON file")
     report.add_argument("--top", type=int, default=3, help="regulators per module")
+
+    validate = sub.add_parser(
+        "validate",
+        help="scenario-matrix differential validation across backends",
+        description="Run adversarial data scenarios (ties, missing data, "
+                    "degenerate modules, extreme scales, ...) through every "
+                    "backend combination — worker counts x scoring-kernel "
+                    "backends x RNG backends — asserting bit-identity of the "
+                    "learned network against the sequential reference and "
+                    "reporting ground-truth recovery metrics per scenario.",
+    )
+    validate.add_argument("--smoke", action="store_true",
+                          help="the reduced CI grid: fewer scenarios at "
+                               "smaller shapes and fewer worker counts "
+                               "(bit-identity asserts are unchanged)")
+    validate.add_argument("--scenarios", nargs="+", default=None,
+                          metavar="NAME",
+                          help="run only these scenarios (default: the full "
+                               "registry, or the smoke subset with --smoke)")
+    validate.add_argument("--list", action="store_true", dest="list_scenarios",
+                          help="list registered scenarios and exit")
+    validate.add_argument("--seed", type=int, default=0)
+    validate.add_argument("--workers", type=int, nargs="+", default=None,
+                          metavar="W",
+                          help="worker counts to differentiate (default: "
+                               "1 2 with --smoke, else 1 2 4)")
+    validate.add_argument("--out", default=None,
+                          help="write the JSON scenario report here")
     return parser
 
 
@@ -409,6 +437,32 @@ def cmd_report(args: argparse.Namespace) -> int:
     return 0
 
 
+def cmd_validate(args: argparse.Namespace) -> int:
+    from repro.validation import SCENARIOS, run_matrix
+
+    if args.list_scenarios:
+        width = max(len(name) for name in SCENARIOS)
+        for name, spec in SCENARIOS.items():
+            print(f"{name:<{width}}  {spec.description}")
+        return 0
+
+    worker_counts = tuple(args.workers) if args.workers else None
+    t0 = time.perf_counter()
+    report = run_matrix(
+        scenario_names=args.scenarios,
+        seed=args.seed,
+        smoke=args.smoke,
+        worker_counts=worker_counts,
+    )
+    elapsed = time.perf_counter() - t0
+    print(report.summarize())
+    print(f"validated in {elapsed:.1f} s")
+    if args.out:
+        Path(args.out).write_text(report.to_json(), encoding="utf-8")
+        print(f"wrote {args.out}")
+    return 0 if report.ok else 1
+
+
 COMMANDS = {
     "generate": cmd_generate,
     "learn": cmd_learn,
@@ -418,6 +472,7 @@ COMMANDS = {
     "consensus": cmd_consensus,
     "modules": cmd_modules,
     "report": cmd_report,
+    "validate": cmd_validate,
 }
 
 

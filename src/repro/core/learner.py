@@ -44,6 +44,21 @@ from repro.trees.parents import accumulate_parent_scores
 from repro.trees.splits import score_node_splits, select_node_splits
 
 
+def _require_complete(matrix: ExpressionMatrix) -> None:
+    """Reject NaN (missing-data) matrices at the pipeline boundary.
+
+    The incremental suffstats algebra silently poisons every downstream
+    score once a NaN enters it, so missingness must be resolved *before*
+    learning rather than discovered as a corrupt network afterwards.
+    """
+    if np.isnan(matrix.values).any():
+        raise ValueError(
+            "expression matrix contains missing values (NaN); call "
+            "matrix.impute_missing() or drop the affected observations "
+            "before learning"
+        )
+
+
 @dataclass
 class LearnResult:
     """A learned network plus run metadata."""
@@ -83,6 +98,7 @@ class LemonTreeLearner:
         learning): one pool construction, one shared-memory matrix
         transfer, per ``learn`` call.
         """
+        _require_complete(matrix)
         config = self.config
         if checkpoint_dir is None:
             checkpoint_dir = config.parallel.checkpoint_dir
@@ -169,6 +185,7 @@ class LemonTreeLearner:
         ``ganesh_<g>.npz`` so an interrupted task re-executes only the
         missing runs.
         """
+        _require_complete(matrix)
         if checkpoint_dir is None:
             checkpoint_dir = self.config.parallel.checkpoint_dir
         executor = self._make_executor(matrix.values, seed, checkpoint_dir)
@@ -215,6 +232,7 @@ class LemonTreeLearner:
         (:class:`repro.parallel.executor.ModuleExecutor`) — same named
         streams, so the network is bit-identical to a sequential run.
         """
+        _require_complete(matrix)
         if checkpoint_dir is None:
             checkpoint_dir = self.config.parallel.checkpoint_dir
         seen: set[int] = set()

@@ -53,6 +53,9 @@ class SyntheticDataset:
     matrix: ExpressionMatrix
     truth: GroundTruth
     name: str = "synthetic"
+    #: boolean mask of entries dropped by ``missing_rate`` (None when the
+    #: matrix is complete)
+    missing_mask: np.ndarray | None = None
 
 
 def make_module_dataset(
@@ -62,6 +65,7 @@ def make_module_dataset(
     n_regulators: int | None = None,
     noise: float = 0.4,
     heavy_tail: float = 0.15,
+    missing_rate: float = 0.0,
     seed: int = 0,
     name: str = "synthetic",
 ) -> SyntheticDataset:
@@ -83,9 +87,17 @@ def make_module_dataset(
     heavy_tail:
         Fraction of entries receiving a 3x noise kick (RNA-seq-style
         outliers).
+    missing_rate:
+        Fraction of entries replaced by NaN missing-data markers (dropout /
+        failed measurements).  The returned matrix is constructed with
+        ``allow_missing=True`` and the dropped entries are recorded in
+        ``SyntheticDataset.missing_mask``; each variable keeps at least one
+        observed value so row-mean imputation is always defined.
     """
     if n_vars < 4 or n_obs < 4:
         raise ValueError("need at least 4 variables and 4 observations")
+    if not 0.0 <= missing_rate < 1.0:
+        raise ValueError("missing_rate must lie in [0, 1)")
     rng = np.random.default_rng(seed)
     if n_modules is None:
         n_modules = max(2, n_vars // 12)
@@ -101,10 +113,15 @@ def make_module_dataset(
     # module contains candidate regulators too (self-regulation is allowed,
     # as in the paper: acyclicity is not enforced).
     module_of_gene = rng.integers(0, n_modules, size=n_vars)
-    # Ensure no empty modules.
+    # Ensure no empty modules.  Donor genes come only from modules holding
+    # at least two members (pigeonhole guarantees one exists whenever some
+    # module is empty), so the fixup can never empty a singleton module it
+    # already passed.
     for module in range(n_modules):
         if not (module_of_gene == module).any():
-            module_of_gene[rng.integers(0, n_vars)] = module
+            counts = np.bincount(module_of_gene, minlength=n_modules)
+            donors = np.flatnonzero(counts[module_of_gene] >= 2)
+            module_of_gene[donors[rng.integers(0, donors.size)]] = module
 
     programs: list[RegulatorProgram] = []
     values = np.empty((n_vars, n_obs), dtype=np.float64)
@@ -137,15 +154,27 @@ def make_module_dataset(
         mask = rng.random((n_vars, n_obs)) < heavy_tail
         values = values + mask * rng.normal(0.0, 3.0 * noise, size=values.shape)
 
+    # Missing-data injection: drop entries to NaN, but keep at least one
+    # observed value per variable so row statistics remain defined.
+    missing_mask = None
+    if missing_rate > 0.0:
+        missing_mask = rng.random((n_vars, n_obs)) < missing_rate
+        keep = rng.integers(0, n_obs, size=n_vars)
+        missing_mask[np.arange(n_vars), keep] = False
+        values = values.copy()
+        values[missing_mask] = np.nan
+
     matrix = ExpressionMatrix(
         values,
         var_names=[f"G{i:05d}" for i in range(n_vars)],
         obs_names=[f"C{j:05d}" for j in range(n_obs)],
+        allow_missing=missing_mask is not None,
     )
     return SyntheticDataset(
         matrix=matrix,
         truth=GroundTruth(module_of_gene=module_of_gene, programs=programs),
         name=name,
+        missing_mask=missing_mask,
     )
 
 

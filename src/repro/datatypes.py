@@ -21,12 +21,20 @@ class ExpressionMatrix:
         values: np.ndarray,
         var_names: Sequence[str] | None = None,
         obs_names: Sequence[str] | None = None,
+        allow_missing: bool = False,
     ) -> None:
         values = np.asarray(values, dtype=np.float64)
         if values.ndim != 2:
             raise ValueError("expression matrix must be 2-D (variables x observations)")
-        if not np.isfinite(values).all():
-            raise ValueError("expression matrix contains non-finite values")
+        if allow_missing:
+            # NaN marks a missing measurement; infinities are never data.
+            if np.isinf(values).any():
+                raise ValueError("expression matrix contains infinite values")
+        elif not np.isfinite(values).all():
+            raise ValueError(
+                "expression matrix contains non-finite values (pass "
+                "allow_missing=True to carry NaN missing-data markers)"
+            )
         self.values = values
         n, m = values.shape
         self.var_names = (
@@ -39,6 +47,47 @@ class ExpressionMatrix:
             raise ValueError("var_names length does not match row count")
         if len(self.obs_names) != m:
             raise ValueError("obs_names length does not match column count")
+
+    @property
+    def has_missing(self) -> bool:
+        """True when the matrix carries NaN missing-data markers."""
+        return bool(np.isnan(self.values).any())
+
+    def missing_mask(self) -> np.ndarray:
+        """Boolean mask of missing (NaN) entries."""
+        return np.isnan(self.values)
+
+    def impute_missing(self, strategy: str = "row_mean") -> "ExpressionMatrix":
+        """A complete matrix with missing entries filled in.
+
+        ``row_mean`` replaces each NaN with its variable's observed mean
+        (the variable's grand expression level — the neutral value under
+        the row-pooled normal-gamma model); ``zero`` fills with 0.0.  A
+        variable with no observed value at all imputes to 0.0.  The result
+        never contains NaN, so it is accepted by every scoring path.
+        """
+        if strategy not in ("row_mean", "zero"):
+            raise ValueError("strategy must be 'row_mean' or 'zero'")
+        mask = np.isnan(self.values)
+        if not mask.any():
+            return ExpressionMatrix(
+                self.values.copy(), self.var_names, self.obs_names
+            )
+        filled = self.values.copy()
+        if strategy == "row_mean":
+            observed = np.where(mask, 0.0, filled)
+            counts = (~mask).sum(axis=1)
+            means = np.divide(
+                observed.sum(axis=1),
+                counts,
+                out=np.zeros(self.n_vars, dtype=np.float64),
+                where=counts > 0,
+            )
+            fill = np.broadcast_to(means[:, None], filled.shape)
+        else:
+            fill = np.zeros_like(filled)
+        filled[mask] = fill[mask]
+        return ExpressionMatrix(filled, self.var_names, self.obs_names)
 
     @property
     def n_vars(self) -> int:
@@ -64,11 +113,19 @@ class ExpressionMatrix:
         if not (0 < n <= self.n_vars and 0 < m <= self.n_obs):
             raise ValueError(f"subsample {n}x{m} out of range for {self.shape}")
         return ExpressionMatrix(
-            self.values[:n, :m].copy(), self.var_names[:n], self.obs_names[:m]
+            self.values[:n, :m].copy(),
+            self.var_names[:n],
+            self.obs_names[:m],
+            allow_missing=True,
         )
 
     def standardized(self) -> "ExpressionMatrix":
         """Row-standardize (zero mean, unit variance per variable)."""
+        if self.has_missing:
+            raise ValueError(
+                "cannot standardize a matrix with missing values; call "
+                "impute_missing() first"
+            )
         mean = self.values.mean(axis=1, keepdims=True)
         std = self.values.std(axis=1, keepdims=True)
         std[std == 0] = 1.0

@@ -19,6 +19,20 @@ from repro.scoring.normal_gamma import (
 )
 
 
+def _reject_nan_groups(stats: "StatsArrays") -> None:
+    """Fail fast when NaN data leaked into grouped sufficient statistics.
+
+    A single NaN poisons its block's total/sumsq and, through the
+    incremental add/remove algebra, every score derived from it later; the
+    O(n_groups) check here is free next to the O(n) accumulation.
+    """
+    if np.isnan(stats.total).any():
+        raise ValueError(
+            "grouped sufficient statistics hit NaN values; impute missing "
+            "data before scoring"
+        )
+
+
 @dataclass
 class SuffStats:
     """A single block's sufficient statistics."""
@@ -30,7 +44,13 @@ class SuffStats:
     @classmethod
     def of(cls, values: np.ndarray) -> "SuffStats":
         v = np.asarray(values, dtype=np.float64).ravel()
-        return cls(float(v.size), float(v.sum()), float((v * v).sum()))
+        total = float(v.sum())
+        if np.isnan(total):
+            raise ValueError(
+                "sufficient statistics over NaN values are undefined; "
+                "impute missing data before scoring"
+            )
+        return cls(float(v.size), total, float((v * v).sum()))
 
     def add(self, other: "SuffStats") -> "SuffStats":
         return SuffStats(
@@ -162,6 +182,7 @@ class StatsArrays:
                 # np.bincount's implicit array-widening semantics below.
                 if triple is not None:
                     out.count, out.total, out.sumsq = triple
+                    _reject_nan_groups(out)
                     return out
         if vals.ndim == 1:
             out.count = np.bincount(labels, minlength=n_groups).astype(np.float64)
@@ -178,6 +199,7 @@ class StatsArrays:
             )
         else:
             raise ValueError("values must be 1-D or 2-D")
+        _reject_nan_groups(out)
         return out
 
     def __len__(self) -> int:

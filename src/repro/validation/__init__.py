@@ -1,0 +1,45 @@
+"""Scenario-matrix validation: adversarial generators + differential testing.
+
+The public surface:
+
+* :func:`repro.validation.run_matrix` — run every selected scenario
+  through the full backend grid and return a
+  :class:`~repro.validation.report.MatrixReport`;
+* :data:`repro.validation.SCENARIOS` — the scenario registry;
+* ``repro validate`` — the CLI entry point emitting the JSON report.
+"""
+
+from repro.validation.metrics import network_fingerprint, recovery_metrics
+from repro.validation.report import ComboResult, MatrixReport, ScenarioResult
+from repro.validation.runner import (
+    BackendCombo,
+    backend_grid,
+    run_matrix,
+    run_scenario,
+)
+from repro.validation.scenarios import (
+    SCENARIOS,
+    SMOKE_SCENARIOS,
+    Scenario,
+    ToleranceBand,
+    get_scenario,
+    select_scenarios,
+)
+
+__all__ = [
+    "BackendCombo",
+    "ComboResult",
+    "MatrixReport",
+    "SCENARIOS",
+    "SMOKE_SCENARIOS",
+    "Scenario",
+    "ScenarioResult",
+    "ToleranceBand",
+    "backend_grid",
+    "get_scenario",
+    "network_fingerprint",
+    "recovery_metrics",
+    "run_matrix",
+    "run_scenario",
+    "select_scenarios",
+]

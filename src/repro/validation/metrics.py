@@ -1,0 +1,51 @@
+"""Ground-truth recovery metrics and network fingerprints.
+
+The differential harness needs two kinds of measurements:
+
+* **bit-identity** between backend combinations — established by hashing
+  the network's canonical signature (assignment, tree structure, selected
+  splits, parent scores), the same summary :meth:`ModuleNetwork.__eq__`
+  compares;
+* **ground-truth recovery** against the generative structure — module
+  ARI plus regulator precision/recall (Michoel et al.'s validation
+  protocol), judged against per-scenario tolerance bands.
+"""
+
+from __future__ import annotations
+
+import hashlib
+
+from repro.analysis.recovery import module_recovery_score, parent_recovery
+from repro.data.synthetic import GroundTruth
+from repro.datatypes import ModuleNetwork
+
+
+def network_fingerprint(network: ModuleNetwork) -> str:
+    """A stable hex digest of the network's canonical signature.
+
+    Two networks have equal fingerprints iff they compare equal under
+    :meth:`ModuleNetwork.__eq__` (both hash the same
+    :meth:`~ModuleNetwork.signature` value), so fingerprint comparison is
+    exactly the bit-identity bar the paper's output-consistency property
+    demands — but reportable as a short string in the JSON scenario report.
+    """
+    return hashlib.sha256(repr(network.signature()).encode()).hexdigest()
+
+
+def recovery_metrics(
+    network: ModuleNetwork, truth: GroundTruth | None, top_k: int = 3
+) -> dict[str, float]:
+    """Module-ARI and regulator precision/recall against generative truth.
+
+    Returns an empty dict for scenarios without a meaningful ground truth
+    (fully degenerate matrices where the generative labels carry no
+    signal by construction).
+    """
+    if truth is None:
+        return {}
+    parents = parent_recovery(network, truth, top_k=top_k)
+    return {
+        "module_ari": float(module_recovery_score(network, truth)),
+        "regulator_precision": float(parents["precision"]),
+        "regulator_recall": float(parents["recall"]),
+    }

@@ -204,3 +204,38 @@ class TestModulesCheckpoint:
                      "--modules-file", str(modules), "--sampling-steps", "4",
                      "--checkpoint-dir", str(ckpt)]) == 0
         assert list(ckpt.glob("module_*.json"))
+
+
+class TestValidate:
+    def test_list_scenarios(self, capsys):
+        assert main(["validate", "--list"]) == 0
+        out = capsys.readouterr().out
+        assert "clean-baseline" in out and "tie-grid" in out
+
+    def test_unknown_scenario_fails_loudly(self):
+        with pytest.raises(KeyError, match="no-such"):
+            main(["validate", "--scenarios", "no-such"])
+
+    def test_single_scenario_smoke_report(self, tmp_path, capsys):
+        report_path = tmp_path / "report.json"
+        code = main(["validate", "--smoke", "--scenarios", "tie-grid",
+                     "--workers", "1", "--out", str(report_path)])
+        out = capsys.readouterr().out
+        assert code == 0, out
+        assert "tie-grid" in out and "ok" in out
+        payload = json.loads(report_path.read_text())
+        assert payload["ok"] is True
+        assert payload["scenarios"][0]["name"] == "tie-grid"
+        assert all(
+            combo["identical"]
+            for combo in payload["scenarios"][0]["combos"]
+        )
+
+    @pytest.mark.slow
+    def test_smoke_matrix_via_cli(self, tmp_path):
+        """The exact invocation CI's scenario-smoke job runs."""
+        report_path = tmp_path / "report.json"
+        assert main(["validate", "--smoke", "--out", str(report_path)]) == 0
+        payload = json.loads(report_path.read_text())
+        assert payload["ok"] is True
+        assert payload["n_scenarios"] >= 5

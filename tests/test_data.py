@@ -2,6 +2,8 @@
 
 import numpy as np
 import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
 
 from repro.data.io import read_expression_tsv, write_expression_tsv
 from repro.data.synthetic import (
@@ -67,6 +69,87 @@ class TestMakeModuleDataset:
         small = make_module_dataset(24, 10, seed=0)
         large = make_module_dataset(240, 10, seed=0)
         assert large.truth.n_modules > small.truth.n_modules
+
+
+class TestGeneratorProperties:
+    """Hypothesis invariants of the generative process itself — the
+    scenario matrix trusts these to hold for every sampled cell."""
+
+    params = st.fixed_dictionaries(
+        {
+            "n_vars": st.integers(min_value=4, max_value=48),
+            "n_obs": st.integers(min_value=4, max_value=24),
+            "noise": st.floats(min_value=0.0, max_value=2.0),
+            "heavy_tail": st.floats(min_value=0.0, max_value=0.9),
+            "missing_rate": st.floats(min_value=0.0, max_value=0.8),
+            "seed": st.integers(min_value=0, max_value=2**31 - 1),
+        }
+    )
+
+    @settings(max_examples=40, deadline=None)
+    @given(params=params)
+    def test_seed_determinism(self, params):
+        a = make_module_dataset(**params)
+        b = make_module_dataset(**params)
+        np.testing.assert_array_equal(a.matrix.values, b.matrix.values)
+        np.testing.assert_array_equal(
+            a.truth.module_of_gene, b.truth.module_of_gene
+        )
+        assert a.truth.programs == b.truth.programs
+
+    @settings(max_examples=40, deadline=None)
+    @given(params=params)
+    def test_ground_truth_invariants(self, params):
+        ds = make_module_dataset(**params)
+        truth = ds.truth
+        n_vars = params["n_vars"]
+        # Labels cover every gene, hit every module, and index programs.
+        assert truth.module_of_gene.shape == (n_vars,)
+        assert truth.module_of_gene.min() >= 0
+        assert truth.module_of_gene.max() < truth.n_modules
+        assert len(np.unique(truth.module_of_gene)) == truth.n_modules
+        for program in truth.programs:
+            # One threshold per regulator; one leaf mean per program leaf.
+            assert len(program.thresholds) == len(program.regulators)
+            assert len(program.leaf_means) == 2 ** len(program.regulators)
+
+    @settings(max_examples=40, deadline=None)
+    @given(params=params)
+    def test_missingness_contract(self, params):
+        ds = make_module_dataset(**params)
+        values = ds.matrix.values
+        assert not np.isinf(values).any()
+        if params["missing_rate"] == 0.0:
+            assert ds.missing_mask is None
+            assert not np.isnan(values).any()
+        else:
+            assert ds.missing_mask is not None
+            np.testing.assert_array_equal(np.isnan(values), ds.missing_mask)
+            # Every variable keeps at least one observed value, so
+            # row-mean imputation is always defined and complete.
+            assert (~ds.missing_mask).any(axis=1).all()
+            imputed = ds.matrix.impute_missing()
+            assert np.isfinite(imputed.values).all()
+            observed = ~ds.missing_mask
+            np.testing.assert_array_equal(
+                imputed.values[observed], values[observed]
+            )
+
+    @settings(max_examples=20, deadline=None)
+    @given(
+        scale=st.floats(min_value=1 / 512, max_value=1 / 16),
+        seed=st.integers(min_value=0, max_value=1000),
+    )
+    def test_preset_scale_factors(self, scale, seed):
+        ds = yeast_like(scale=scale, seed=seed)
+        assert ds.matrix.n_vars == max(8, round(YEAST_SHAPE[0] * scale))
+        assert ds.matrix.n_obs == max(8, round(YEAST_SHAPE[1] * scale))
+
+    def test_rejects_bad_missing_rate(self):
+        with pytest.raises(ValueError, match="missing_rate"):
+            make_module_dataset(8, 8, missing_rate=1.0)
+        with pytest.raises(ValueError, match="missing_rate"):
+            make_module_dataset(8, 8, missing_rate=-0.1)
 
 
 class TestPresets:

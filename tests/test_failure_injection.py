@@ -1,6 +1,10 @@
 """Failure injection and degenerate-input behaviour."""
 
 import os
+import signal
+import subprocess
+import sys
+import time
 
 import numpy as np
 import pytest
@@ -169,6 +173,123 @@ class TestStealDispatchCrash:
         for f in tmp_path.glob("ganesh_*.npz"):
             if f.name in survivor_stamps:
                 assert f.stat().st_mtime_ns == survivor_stamps[f.name]
+
+
+_KILL_RESUME_SCRIPT = """
+import sys
+from repro.core.learner import LemonTreeLearner
+from repro.validation import get_scenario
+from tests.test_failure_injection import _tie_heavy_setup
+
+config, matrix = _tie_heavy_setup()
+print("ready", flush=True)
+LemonTreeLearner(config).learn(matrix, seed=5, checkpoint_dir=sys.argv[1])
+"""
+
+
+def _tie_heavy_setup():
+    """The adversarial kill-and-resume workload: exact duplicate rows (the
+    tie-heavy scenario) with enough GaneSH runs that checkpoints appear
+    one by one while the run is still in flight."""
+    from repro.core.config import LearnerConfig
+    from repro.validation import get_scenario
+
+    spec = get_scenario("duplicate-genes")
+    config = LearnerConfig(
+        n_ganesh_runs=8, n_update_steps=3, max_sampling_steps=4
+    )
+    return config, spec.generate(2, smoke=True).matrix
+
+
+@pytest.mark.slow
+class TestScenarioKillResume:
+    def test_killed_learn_resumes_bit_identical(self, tmp_path):
+        """SIGKILL a checkpointing learn() mid-flight on the tie-heavy
+        scenario; the resumed run must produce exactly the network an
+        uninterrupted run does (ties make any replay-order leak visible)."""
+        config, matrix = _tie_heavy_setup()
+        uninterrupted = LemonTreeLearner(config).learn(matrix, seed=5).network
+
+        proc = subprocess.Popen(
+            [sys.executable, "-c", _KILL_RESUME_SCRIPT, str(tmp_path)],
+            stdout=subprocess.PIPE,
+            cwd=os.path.dirname(os.path.dirname(os.path.abspath(__file__))),
+        )
+        try:
+            assert proc.stdout.readline().strip() == b"ready"
+            # Kill as soon as the first GaneSH checkpoint lands — the run
+            # is then provably mid-flight, with most work still pending.
+            deadline = time.monotonic() + 30.0
+            while time.monotonic() < deadline:
+                if list(tmp_path.glob("ganesh_*.npz")) or proc.poll() is not None:
+                    break
+                time.sleep(0.01)
+            if proc.poll() is None:
+                proc.send_signal(signal.SIGKILL)
+            proc.wait(timeout=30)
+        finally:
+            if proc.poll() is None:  # pragma: no cover - cleanup on failure
+                proc.kill()
+                proc.wait()
+
+        survivors = {f.name for f in tmp_path.glob("ganesh_*.npz")}
+        assert survivors  # the kill landed after work was checkpointed
+        stamps = {
+            f.name: f.stat().st_mtime_ns for f in tmp_path.glob("ganesh_*.npz")
+        }
+
+        resumed = (
+            LemonTreeLearner(config)
+            .learn(matrix, seed=5, checkpoint_dir=tmp_path)
+            .network
+        )
+        assert resumed == uninterrupted
+        # Survivor checkpoints were reused, never rewritten.
+        for f in tmp_path.glob("ganesh_*.npz"):
+            if f.name in stamps:
+                assert f.stat().st_mtime_ns == stamps[f.name]
+
+
+class TestMissingDataRejection:
+    """NaN matrices must be rejected loudly at the pipeline boundary."""
+
+    def _nan_matrix(self):
+        from repro.data.synthetic import make_module_dataset
+
+        return make_module_dataset(12, 8, missing_rate=0.2, seed=0).matrix
+
+    def test_learn_rejects_nan(self, fast_config):
+        with pytest.raises(ValueError, match="impute_missing"):
+            LemonTreeLearner(fast_config).learn(self._nan_matrix(), seed=1)
+
+    def test_sample_clusterings_rejects_nan(self, fast_config):
+        with pytest.raises(ValueError, match="missing"):
+            LemonTreeLearner(fast_config).sample_clusterings(
+                self._nan_matrix(), seed=1
+            )
+
+    def test_learn_from_modules_rejects_nan(self, fast_config):
+        with pytest.raises(ValueError, match="missing"):
+            LemonTreeLearner(fast_config).learn_from_modules(
+                self._nan_matrix(), [[0, 1, 2]], seed=1
+            )
+
+    def test_imputed_matrix_learns(self, fast_config):
+        matrix = self._nan_matrix().impute_missing()
+        result = LemonTreeLearner(fast_config).learn(matrix, seed=1)
+        assert sum(m.size for m in result.network.modules) == matrix.n_vars
+
+    def test_suffstats_reject_nan(self):
+        from repro.scoring.suffstats import StatsArrays, SuffStats
+
+        with pytest.raises(ValueError, match="NaN"):
+            SuffStats.of(np.array([1.0, np.nan]))
+        with pytest.raises(ValueError, match="NaN"):
+            StatsArrays.grouped(
+                np.array([1.0, np.nan, 2.0]),
+                np.array([0, 0, 1], dtype=np.int64),
+                2,
+            )
 
 
 class TestDegenerateData:

@@ -1,0 +1,271 @@
+"""Scenario-matrix validation harness: generators, grid, differential runs."""
+
+import json
+
+import numpy as np
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.core.learner import LemonTreeLearner
+from repro.validation import (
+    SCENARIOS,
+    SMOKE_SCENARIOS,
+    ToleranceBand,
+    backend_grid,
+    get_scenario,
+    network_fingerprint,
+    run_matrix,
+    run_scenario,
+    select_scenarios,
+)
+from repro.validation.runner import RNG_BACKENDS, BackendCombo
+
+
+class TestRegistry:
+    def test_names_match_keys(self):
+        for name, spec in SCENARIOS.items():
+            assert spec.name == name
+
+    def test_smoke_subset_registered(self):
+        assert set(SMOKE_SCENARIOS) <= set(SCENARIOS)
+
+    def test_unknown_scenario_lists_known(self):
+        with pytest.raises(KeyError, match="clean-baseline"):
+            get_scenario("no-such-scenario")
+
+    def test_select_default_is_full_registry(self):
+        assert len(select_scenarios()) == len(SCENARIOS)
+
+    def test_select_smoke_is_reduced(self):
+        smoke = select_scenarios(smoke=True)
+        assert 0 < len(smoke) < len(SCENARIOS)
+        assert [s.name for s in smoke] == list(SMOKE_SCENARIOS)
+
+    def test_explicit_names_win_over_smoke(self):
+        picked = select_scenarios(["tie-grid"], smoke=True)
+        assert [s.name for s in picked] == ["tie-grid"]
+
+
+class TestGenerators:
+    @pytest.mark.parametrize("name", sorted(SCENARIOS))
+    def test_deterministic_and_well_formed(self, name):
+        """Every scenario is a pure function of its seed — the property
+        the differential harness rests on."""
+        spec = SCENARIOS[name]
+        a = spec.generate(3, smoke=True)
+        b = spec.generate(3, smoke=True)
+        np.testing.assert_array_equal(a.matrix.values, b.matrix.values)
+        np.testing.assert_array_equal(
+            a.truth.module_of_gene, b.truth.module_of_gene
+        )
+        # NaN only where a missing mask says so; never inf.
+        assert not np.isinf(a.matrix.values).any()
+        if a.missing_mask is not None:
+            np.testing.assert_array_equal(
+                np.isnan(a.matrix.values), a.missing_mask
+            )
+        else:
+            assert not np.isnan(a.matrix.values).any()
+        labels = a.truth.module_of_gene
+        assert labels.shape == (a.matrix.n_vars,)
+        assert labels.min() >= 0
+
+    @pytest.mark.parametrize("name", sorted(SCENARIOS))
+    def test_smoke_shape_not_larger(self, name):
+        spec = SCENARIOS[name]
+        smoke = spec.generate(0, smoke=True).matrix
+        full = spec.generate(0, smoke=False).matrix
+        assert smoke.n_vars <= full.n_vars
+        assert smoke.n_obs <= full.n_obs
+
+    def test_tie_grid_is_all_ties(self):
+        ds = SCENARIOS["tie-grid"].generate(1, smoke=True)
+        assert (ds.matrix.values == ds.matrix.values[0]).all()
+
+    def test_duplicate_genes_have_exact_duplicates(self):
+        ds = SCENARIOS["duplicate-genes"].generate(1, smoke=True)
+        values = ds.matrix.values
+        assert any(
+            (values[i] == values[i + 1]).all() for i in range(len(values) - 1)
+        )
+
+    @settings(
+        max_examples=12,
+        deadline=None,
+        suppress_health_check=[HealthCheck.too_slow],
+    )
+    @given(
+        name=st.sampled_from(sorted(SCENARIOS)),
+        seed=st.integers(min_value=0, max_value=2**31 - 1),
+    )
+    def test_sampled_scenarios_learnable(self, name, seed):
+        """Hypothesis-driven scenario sampling: any (scenario, seed) cell
+        must generate, impute if needed, and the sequential learner must
+        run it twice to the same fingerprint without crashing."""
+        spec = SCENARIOS[name]
+        ds = spec.generate(seed, smoke=True)
+        matrix = ds.matrix
+        if matrix.has_missing:
+            matrix = matrix.impute_missing()
+        from repro.validation.runner import _base_config
+
+        config = _base_config(spec)
+        first = LemonTreeLearner(config).learn(matrix, seed=seed).network
+        again = LemonTreeLearner(config).learn(matrix, seed=seed).network
+        assert network_fingerprint(first) == network_fingerprint(again)
+        assert sum(m.size for m in first.modules) == matrix.n_vars
+
+
+class TestBackendGrid:
+    def test_reference_cell_excluded(self):
+        for combo in backend_grid():
+            assert not (combo.n_workers == 1 and combo.kernel_backend == "numpy")
+
+    def test_both_rng_backends_present(self):
+        grid = backend_grid(smoke=True)
+        assert {c.rng_backend for c in grid} == set(RNG_BACKENDS)
+
+    def test_smoke_grid_is_smaller(self):
+        assert len(backend_grid(smoke=True)) < len(backend_grid(smoke=False))
+
+    def test_explicit_worker_counts(self):
+        grid = backend_grid(worker_counts=(1, 3))
+        assert {c.n_workers for c in grid} <= {1, 3}
+
+
+class TestToleranceBand:
+    def test_empty_band_never_violated(self):
+        assert ToleranceBand().violations({}) == []
+
+    def test_floor_violation_reported(self):
+        band = ToleranceBand(min_module_ari=0.5)
+        assert band.violations({"module_ari": 0.2})
+        assert not band.violations({"module_ari": 0.7})
+
+    def test_missing_metric_is_a_violation(self):
+        band = ToleranceBand(min_regulator_recall=0.1)
+        violations = band.violations({})
+        assert violations and "missing" in violations[0]
+
+
+class TestDifferentialRunner:
+    """In-process differential cells (kernel/RNG swaps at w=1) run in the
+    fast suite; multiprocess worker cells are exercised by the slow tests
+    below and by the CI scenario-smoke job."""
+
+    def test_tie_grid_kernel_swap_bit_identical(self):
+        result = run_scenario(
+            get_scenario("tie-grid"),
+            seed=0,
+            smoke=True,
+            combos=[BackendCombo(1, "numpy", "mrg")],
+        )
+        # w=1/numpy/mrg must reproduce the mrg reference exactly.
+        assert result.combos[0].identical
+        assert result.ok
+
+    def test_recovery_metrics_reported(self):
+        result = run_scenario(
+            get_scenario("clean-baseline"), seed=0, smoke=True, combos=[]
+        )
+        assert set(result.metrics) == {
+            "module_ari", "regulator_precision", "regulator_recall",
+        }
+        assert not result.band_violations
+
+    def test_truth_free_scenario_has_no_metrics(self):
+        result = run_scenario(
+            get_scenario("tie-grid"), seed=0, smoke=True, combos=[]
+        )
+        assert result.metrics == {}
+
+    def test_crash_recorded_not_raised(self, monkeypatch):
+        """A combination that crashes becomes a failing cell, not an
+        aborted matrix."""
+        from repro.validation import runner as runner_mod
+
+        real = runner_mod._learn_fingerprint
+
+        def poisoned(matrix, config, seed):
+            # References pin kernel_backend="numpy"; poison only the
+            # "auto" combo cell so the reference pass survives.
+            if config.parallel.kernel_backend == "auto":
+                raise RuntimeError("injected degeneracy")
+            return real(matrix, config, seed)
+
+        monkeypatch.setattr(runner_mod, "_learn_fingerprint", poisoned)
+        result = run_scenario(
+            get_scenario("tie-grid"),
+            seed=0,
+            smoke=True,
+            combos=[BackendCombo(1, "auto", "mrg")],
+        )
+        assert not result.ok
+        assert result.crashed and "injected degeneracy" in result.crashed[0].error
+
+    def test_report_json_round_trips(self):
+        report = run_matrix(
+            scenario_names=["tie-grid"],
+            seed=1,
+            smoke=True,
+            worker_counts=(1,),
+        )
+        payload = json.loads(report.to_json())
+        assert payload["ok"] is True
+        assert payload["n_scenarios"] == 1
+        scenario = payload["scenarios"][0]
+        assert scenario["name"] == "tie-grid"
+        assert set(scenario["reference_fingerprints"]) == set(RNG_BACKENDS)
+        for combo in scenario["combos"]:
+            assert combo["identical"] is True
+        assert "tie-grid" in report.summarize()
+
+    def test_divergence_detected(self, monkeypatch):
+        """A backend whose network differs from the reference must be
+        flagged — the harness's entire reason to exist."""
+        from repro.validation import runner as runner_mod
+
+        real = runner_mod._learn_fingerprint
+
+        def skewed(matrix, config, seed):
+            network, fingerprint = real(matrix, config, seed)
+            # References pin kernel_backend="numpy", so only the combo
+            # cell's fingerprint is corrupted.
+            if config.parallel.kernel_backend == "auto":
+                fingerprint = "0" * 64
+            return network, fingerprint
+
+        monkeypatch.setattr(runner_mod, "_learn_fingerprint", skewed)
+        skewed_result = run_scenario(
+            get_scenario("tie-grid"),
+            seed=0,
+            smoke=True,
+            combos=[BackendCombo(1, "auto", "philox")],
+        )
+        assert not skewed_result.ok
+        assert skewed_result.divergent
+
+
+@pytest.mark.slow
+class TestExecutorDifferential:
+    """Multiprocess cells of the grid: worker counts beyond 1."""
+
+    @pytest.mark.parametrize("name", ["tie-grid", "duplicate-genes"])
+    def test_two_workers_bit_identical(self, name):
+        result = run_scenario(
+            get_scenario(name),
+            seed=0,
+            smoke=True,
+            combos=[
+                BackendCombo(2, "numpy", rng) for rng in RNG_BACKENDS
+            ],
+        )
+        assert [c.identical for c in result.combos] == [True, True], (
+            result.to_dict()
+        )
+
+    def test_smoke_matrix_green(self):
+        """The reduced grid — what CI's scenario-smoke job asserts."""
+        report = run_matrix(smoke=True, seed=0)
+        assert report.ok, report.summarize()
