@@ -120,6 +120,28 @@ def main() -> None:
               f"{kern_native['peak_chunk_elements']} elems; "
               f"bit-identical: {kern_native['bit_identical']}")
 
+    task1 = _load("BENCH_task1")
+    if task1:
+        print(f"task1: {task1['speedup_2']:.2f}x@2w, "
+              f"{task1['speedup_4']:.2f}x@4w ({task1['g_runs']} runs, "
+              f"{task1['steals']} steals, locality "
+              f"{task1['locality_hit_rate']:.0%}); "
+              f"bit-identical: {task1['bit_identical']}")
+
+    shard = _load("BENCH_shard")
+    if shard:
+        cal = shard.get("calibration") or {}
+        tau, mu = cal.get("tau"), cal.get("mu")
+        wire = (f"tau={tau:.3g}s mu={mu:.3g}s/word"
+                if tau is not None else "uncalibrated")
+        print(f"shard: {shard['speedup_2']:.2f}x@2 nodes "
+              f"({shard['node_backend']}, {shard['g_runs']} runs, "
+              f"{shard['cores_available']} cores); wire {wire}; "
+              f"{shard['transfer_bytes']} B in "
+              f"{shard['transfer_seconds']:.3f}s, "
+              f"{shard['node_steals']} node steals; "
+              f"bit-identical: {shard['bit_identical']}")
+
     genomica = _load("extension_genomica")
     if genomica:
         sp = genomica.get("speedups_genome_scale", genomica.get("speedups", {}))

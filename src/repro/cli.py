@@ -108,6 +108,7 @@ def build_parser() -> argparse.ArgumentParser:
                         help="worker processes for the G runs (0 = all cores; "
                              ">1 runs the persistent pool executor)")
     _add_topology_arg(ganesh)
+    _add_node_args(ganesh)
     ganesh.add_argument("--checkpoint-dir", default=None,
                         help="resume/continue directory for per-run "
                              "ganesh_<g>.npz checkpoints")
@@ -162,6 +163,16 @@ def build_parser() -> argparse.ArgumentParser:
                           metavar="W",
                           help="worker counts to differentiate (default: "
                                "1 2 with --smoke, else 1 2 4)")
+    validate.add_argument("--nodes", type=int, nargs="+", default=None,
+                          metavar="N",
+                          help="shard node counts to differentiate (e.g. "
+                               "'--nodes 1 2' also runs every scenario on "
+                               "the multi-node tier, asserting the same "
+                               "bit-identity against the sequential "
+                               "reference)")
+    validate.add_argument("--node-backend", choices=["socket", "thread"],
+                          default="socket",
+                          help="shard transport for the --nodes combos")
     validate.add_argument("--out", default=None,
                           help="write the JSON scenario report here")
     return parser
@@ -181,6 +192,7 @@ def _add_executor_args(parser: argparse.ArgumentParser) -> None:
                         help="executor dispatch: static blocks or dynamic "
                              "largest-first pulling")
     _add_topology_arg(parser)
+    _add_node_args(parser)
 
 
 def _add_topology_arg(parser: argparse.ArgumentParser) -> None:
@@ -203,6 +215,20 @@ def _add_topology_arg(parser: argparse.ArgumentParser) -> None:
                              "bit-identical, this is purely a speed knob")
 
 
+def _add_node_args(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument("--nodes", type=int, default=1, metavar="N",
+                        help="shard nodes (>1 runs the multi-node tier: the "
+                             "work is LPT-partitioned across N nodes, each "
+                             "running its own W-worker pool; results are "
+                             "bit-identical for any node count)")
+    parser.add_argument("--node-backend", choices=["socket", "thread"],
+                        default="socket",
+                        help="shard transport: real OS processes over a "
+                             "length-prefixed localhost socket protocol "
+                             "(socket), or in-process threads over the same "
+                             "frame protocol (thread)")
+
+
 def _parallel_config(args: argparse.Namespace) -> ParallelConfig:
     """The unified executor knobs shared by every learning subcommand."""
     return ParallelConfig(
@@ -213,6 +239,8 @@ def _parallel_config(args: argparse.Namespace) -> ParallelConfig:
         topology=getattr(args, "topology", "auto"),
         steal=not getattr(args, "no_steal", False),
         kernel_backend=getattr(args, "kernel_backend", "auto"),
+        n_nodes=getattr(args, "nodes", 1),
+        node_backend=getattr(args, "node_backend", "socket"),
     )
 
 
@@ -262,7 +290,13 @@ def cmd_learn(args: argparse.Namespace) -> int:
     t0 = time.perf_counter()
     network = LemonTreeLearner(config).learn(matrix, seed=args.seed).network
     workers = config.resolve_n_workers()
-    mode = f"executor w={workers}" if workers > 1 else "sequential"
+    n_nodes = config.parallel.n_nodes
+    if n_nodes > 1:
+        mode = f"sharded n={n_nodes} x w={workers} ({config.parallel.node_backend})"
+    elif workers > 1:
+        mode = f"executor w={workers}"
+    else:
+        mode = "sequential"
     elapsed = time.perf_counter() - t0
 
     removed = []
@@ -447,12 +481,15 @@ def cmd_validate(args: argparse.Namespace) -> int:
         return 0
 
     worker_counts = tuple(args.workers) if args.workers else None
+    node_counts = tuple(args.nodes) if args.nodes else None
     t0 = time.perf_counter()
     report = run_matrix(
         scenario_names=args.scenarios,
         seed=args.seed,
         smoke=args.smoke,
         worker_counts=worker_counts,
+        node_counts=node_counts,
+        node_backend=args.node_backend,
     )
     elapsed = time.perf_counter() - t0
     print(report.summarize())

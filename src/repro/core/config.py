@@ -52,10 +52,24 @@ class ParallelConfig:
     #: Backends are bit-identical by construction, so this is purely a
     #: speed knob.
     kernel_backend: str = "auto"
+    #: shard nodes (1 = single-host, the pool executor alone); >1 routes
+    #: Task 1 chains and Task 3 modules through the
+    #: :class:`repro.parallel.sharding.ShardedExecutor` process-node tier,
+    #: each node running its own ``n_workers``-worker pool.  Pure
+    #: placement: results are bit-identical for any node count.
+    n_nodes: int = 1
+    #: shard transport: "socket" (real OS processes over length-prefixed
+    #: TCP frames on localhost) or "thread" (in-process fallback over the
+    #: :mod:`repro.parallel.comm` mailboxes — same protocol, no processes)
+    node_backend: str = "socket"
 
     def __post_init__(self) -> None:
         if self.n_workers < 0:
             raise ValueError("n_workers must be non-negative (0 = all cores)")
+        if self.n_nodes < 1:
+            raise ValueError("n_nodes must be at least 1")
+        if self.node_backend not in ("socket", "thread"):
+            raise ValueError("node_backend must be 'socket' or 'thread'")
         if self.mode not in ("auto", "module", "split"):
             raise ValueError("mode must be 'auto', 'module' or 'split'")
         if self.schedule not in ("static", "dynamic"):

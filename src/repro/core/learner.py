@@ -154,16 +154,29 @@ class LemonTreeLearner:
         return LearnResult(network=network, task_times=times, trace=trace, stats=stats)
 
     def _make_executor(self, data: np.ndarray, seed: int, checkpoint_dir=None):
-        """One persistent task-pool executor for the whole invocation, or
-        ``None`` for the sequential in-process path."""
+        """One persistent executor for the whole invocation, or ``None``
+        for the sequential in-process path.
+
+        ``config.parallel.n_nodes > 1`` routes through the process-node
+        shard tier (:class:`repro.parallel.sharding.ShardedExecutor`),
+        each node running its own ``n_workers``-worker pool; otherwise a
+        single-host :class:`~repro.parallel.executor.TaskPoolExecutor`
+        when more than one worker is configured.
+        """
         config = self.config
+        parents = np.asarray(
+            config.resolve_candidate_parents(data.shape[0]), dtype=np.int64
+        )
+        if config.parallel.n_nodes > 1:
+            from repro.parallel.sharding import ShardedExecutor
+
+            return ShardedExecutor(
+                data, parents, config, seed, checkpoint_dir=checkpoint_dir
+            )
         if config.resolve_n_workers() <= 1:
             return None
         from repro.parallel.executor import TaskPoolExecutor
 
-        parents = np.asarray(
-            config.resolve_candidate_parents(data.shape[0]), dtype=np.int64
-        )
         return TaskPoolExecutor(
             data, parents, config, seed, checkpoint_dir=checkpoint_dir
         )
@@ -318,6 +331,13 @@ class LemonTreeLearner:
 
         if executor is not None and modules_members:
             return executor.learn_modules(modules_members, trace=trace)
+        if config.parallel.n_nodes > 1 and modules_members:
+            from repro.parallel.sharding import ShardedExecutor
+
+            with ShardedExecutor(
+                data, parents, config, seed, checkpoint_dir=checkpoint_dir
+            ) as executor:
+                return executor.learn_modules(modules_members, trace=trace)
         if config.resolve_n_workers() > 1 and modules_members:
             from repro.parallel.executor import TaskPoolExecutor
 

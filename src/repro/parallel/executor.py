@@ -411,6 +411,15 @@ def _score_chunk_run(ctx, task):
     return pool_mod._score_task(task)
 
 
+#: the generic run functions a shard node may be asked to execute, by wire
+#: name — the socket protocol of :mod:`repro.parallel.sharding` ships the
+#: *name* rather than a pickled callable so a node never unpickles code
+TASK_RUNNERS = {
+    "ganesh": _ganesh_run,
+    "module": _module_run,
+}
+
+
 # -- driver-side phases of split mode --------------------------------------
 
 

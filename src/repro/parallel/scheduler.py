@@ -22,7 +22,7 @@ from dataclasses import dataclass
 
 import numpy as np
 
-from repro.parallel.costmodel import block_sums
+from repro.parallel.costmodel import block_sums, resolve_remote_penalty
 
 
 @dataclass(frozen=True)
@@ -124,7 +124,7 @@ def placement_lpt_schedule(
     split_costs: np.ndarray,
     group_sizes: np.ndarray,
     placement,
-    remote_penalty: float = 1.3,
+    remote_penalty: float | None = None,
 ) -> ScheduleResult:
     """Placement-aware LPT: greedy over groups with NUMA locality costs.
 
@@ -134,6 +134,10 @@ def placement_lpt_schedule(
     the group's midpoint (the region whose shared-memory pages that domain
     first-touched), and assigning a group to a rank outside its home
     domain costs ``remote_penalty`` times its work (remote DRAM reads).
+    ``None`` (the default) resolves the charge through
+    :func:`repro.parallel.costmodel.resolve_remote_penalty`: the
+    bandwidth-derived value of a calibrated machine model when the shard
+    tier has installed one, else the 1.3 fallback.
     Largest-first to the rank with the lowest *effective* finish time —
     degenerate to plain :func:`lpt_schedule` on a flat single-domain
     placement (every assignment is local).  Analysis-only, like the other
@@ -144,6 +148,7 @@ def placement_lpt_schedule(
     group_sizes = np.asarray(group_sizes, dtype=np.int64)
     if group_sizes.sum() != split_costs.size:
         raise ValueError("group sizes must cover the cost vector exactly")
+    remote_penalty = resolve_remote_penalty(remote_penalty)
     if remote_penalty < 1.0:
         raise ValueError("remote_penalty must be at least 1")
     p = placement.n_workers
@@ -180,7 +185,7 @@ def placement_steal_schedule(
     split_costs: np.ndarray,
     group_sizes: np.ndarray,
     placement,
-    remote_penalty: float = 1.3,
+    remote_penalty: float | None = None,
 ) -> ScheduleResult:
     """Domain-affine queues with idle stealing: a fake-clock simulation.
 
@@ -201,6 +206,12 @@ def placement_steal_schedule(
     :func:`lpt_schedule`.  Ties (equal finish times, equally loaded steal
     victims) break on the lowest rank / domain index, so the simulation is
     deterministic for any input.  Analysis-only, like the other schemes.
+
+    ``remote_penalty=None`` resolves through
+    :func:`repro.parallel.costmodel.resolve_remote_penalty` — the
+    bandwidth-derived charge of a calibrated machine model when one is
+    installed, else the 1.3 fallback — so this model and
+    :func:`placement_lpt_schedule` always charge steals identically.
     """
     import heapq
 
@@ -208,6 +219,7 @@ def placement_steal_schedule(
     group_sizes = np.asarray(group_sizes, dtype=np.int64)
     if group_sizes.sum() != split_costs.size:
         raise ValueError("group sizes must cover the cost vector exactly")
+    remote_penalty = resolve_remote_penalty(remote_penalty)
     if remote_penalty < 1.0:
         raise ValueError("remote_penalty must be at least 1")
     p = placement.n_workers

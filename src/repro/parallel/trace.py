@@ -93,6 +93,19 @@ class WorkTrace:
     #: ``peak_chunk_elements`` (largest guarded temporary) and
     #: ``backends`` (the resolved backend names actually used)
     kernel_counters: dict = field(default_factory=dict)
+    #: measured busy wall seconds per shard node ('shard0', ...), recorded
+    #: by the sharded executor (the process-node tier above the pool)
+    node_times: dict[str, float] = field(default_factory=dict)
+    #: bytes shipped over each shard node's channel (both directions)
+    node_transfer_bytes: dict[str, int] = field(default_factory=dict)
+    #: wall seconds spent inside each shard node's channel send/recv calls
+    node_transfer_seconds: dict[str, float] = field(default_factory=dict)
+    #: work batches a node executed that were *stolen* from another node's
+    #: shard queue by the driver's work-conserving dispatch
+    node_steals: dict[str, int] = field(default_factory=dict)
+    #: the measured tau/mu calibration of the shard channels, as recorded
+    #: by :mod:`repro.parallel.sharding` (``{"tau": s, "mu": s/word, ...}``)
+    calibration: dict | None = None
 
     # -- recording (the learner's hook) -----------------------------------
     def record(
@@ -142,6 +155,28 @@ class WorkTrace:
         the item) or stolen (a foreign worker drained it)."""
         target = self.domain_stolen_times if stolen else self.domain_local_times
         target[domain] = target.get(domain, 0.0) + float(seconds)
+
+    def mark_node_time(self, node: str, seconds: float) -> None:
+        """Accumulate busy wall time of one shard node."""
+        self.node_times[node] = self.node_times.get(node, 0.0) + float(seconds)
+
+    def mark_node_transfer(self, node: str, n_bytes: int, seconds: float) -> None:
+        """Accumulate one shard node's channel traffic (bytes and wall
+        seconds spent in send/recv), both directions combined."""
+        self.node_transfer_bytes[node] = self.node_transfer_bytes.get(
+            node, 0
+        ) + int(n_bytes)
+        self.node_transfer_seconds[node] = self.node_transfer_seconds.get(
+            node, 0.0
+        ) + float(seconds)
+
+    def mark_node_steal(self, node: str, count: int = 1) -> None:
+        """Count batches a shard node pulled from a foreign shard queue."""
+        self.node_steals[node] = self.node_steals.get(node, 0) + int(count)
+
+    def total_node_steals(self) -> int:
+        """Cross-node steals summed over all shard nodes."""
+        return sum(self.node_steals.values())
 
     def mark_kernel(self, counters: dict | None) -> None:
         """Merge one process's drained kernel-counter delta (see
@@ -366,6 +401,11 @@ def save_trace(trace: WorkTrace, path) -> None:
         "domain_stolen_times": trace.domain_stolen_times,
         "topology": trace.topology,
         "kernel_counters": trace.kernel_counters,
+        "node_times": trace.node_times,
+        "node_transfer_bytes": trace.node_transfer_bytes,
+        "node_transfer_seconds": trace.node_transfer_seconds,
+        "node_steals": trace.node_steals,
+        "calibration": trace.calibration,
         "steps": [
             {
                 "phase": s.phase,
@@ -409,6 +449,19 @@ def load_trace(path) -> WorkTrace:
         }
         trace.topology = meta.get("topology")
         trace.kernel_counters = meta.get("kernel_counters") or {}
+        trace.node_times = {
+            k: float(v) for k, v in meta.get("node_times", {}).items()
+        }
+        trace.node_transfer_bytes = {
+            k: int(v) for k, v in meta.get("node_transfer_bytes", {}).items()
+        }
+        trace.node_transfer_seconds = {
+            k: float(v) for k, v in meta.get("node_transfer_seconds", {}).items()
+        }
+        trace.node_steals = {
+            k: int(v) for k, v in meta.get("node_steals", {}).items()
+        }
+        trace.calibration = meta.get("calibration")
         for i, step in enumerate(meta["steps"]):
             trace.steps.append(
                 TraceStep(

@@ -22,6 +22,9 @@ class ComboResult:
     n_workers: int
     kernel_backend: str
     rng_backend: str
+    #: shard nodes (>1 = the combo ran on the multi-node tier)
+    n_nodes: int = 1
+    node_backend: str = "socket"
     fingerprint: str | None = None
     #: matched the sequential reference for the same RNG backend
     identical: bool = False
@@ -30,13 +33,18 @@ class ComboResult:
 
     @property
     def label(self) -> str:
-        return f"w={self.n_workers}/{self.kernel_backend}/{self.rng_backend}"
+        label = f"w={self.n_workers}/{self.kernel_backend}/{self.rng_backend}"
+        if self.n_nodes > 1:
+            label = f"n={self.n_nodes}({self.node_backend})/" + label
+        return label
 
     def to_dict(self) -> dict:
         return {
             "n_workers": self.n_workers,
             "kernel_backend": self.kernel_backend,
             "rng_backend": self.rng_backend,
+            "n_nodes": self.n_nodes,
+            "node_backend": self.node_backend,
             "fingerprint": self.fingerprint,
             "identical": self.identical,
             "seconds": round(self.seconds, 4),

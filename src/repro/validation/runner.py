@@ -39,6 +39,9 @@ class BackendCombo:
     n_workers: int
     kernel_backend: str
     rng_backend: str
+    #: shard nodes (>1 routes through the multi-node tier)
+    n_nodes: int = 1
+    node_backend: str = "socket"
 
 
 def _native_available() -> bool:
@@ -48,7 +51,10 @@ def _native_available() -> bool:
 
 
 def backend_grid(
-    smoke: bool = False, worker_counts: tuple[int, ...] | None = None
+    smoke: bool = False,
+    worker_counts: tuple[int, ...] | None = None,
+    node_counts: tuple[int, ...] | None = None,
+    node_backend: str = "socket",
 ) -> list[BackendCombo]:
     """The backend combinations to differentiate against the reference.
 
@@ -57,13 +63,18 @@ def backend_grid(
     The native kernel joins the grid whenever the extension certifies on
     this machine — silently absent otherwise, exactly like
     ``kernel_backend="auto"``.
+
+    ``node_counts`` adds a shard axis: each count > 1 runs the scenarios
+    on the multi-node tier (:mod:`repro.parallel.sharding`) with one
+    worker per node, for both RNG backends, asserting the same
+    bit-identity against the sequential reference.
     """
     if worker_counts is None:
         worker_counts = (1, 2) if smoke else (1, 2, 4)
     kernels = ["numpy"]
     if _native_available():
         kernels.append("native")
-    return [
+    grid = [
         BackendCombo(w, kernel, rng)
         for rng in RNG_BACKENDS
         for kernel in kernels
@@ -72,6 +83,15 @@ def backend_grid(
         # nothing, but w=1/native is a real cell (kernel swap, no pool).
         if not (w == 1 and kernel == "numpy")
     ]
+    if node_counts:
+        grid.extend(
+            BackendCombo(1, "numpy", rng, n_nodes=n, node_backend=node_backend)
+            for rng in RNG_BACKENDS
+            for n in node_counts
+            # a 1-node shard tier differentiates nothing beyond w=1/numpy
+            if n > 1
+        )
+    return grid
 
 
 def _base_config(spec: Scenario) -> LearnerConfig:
@@ -94,6 +114,8 @@ def _combo_config(
         parallel=ParallelConfig(
             n_workers=combo.n_workers,
             kernel_backend=combo.kernel_backend,
+            n_nodes=combo.n_nodes,
+            node_backend=combo.node_backend,
         ),
     )
 
@@ -143,6 +165,8 @@ def run_scenario(
             n_workers=combo.n_workers,
             kernel_backend=combo.kernel_backend,
             rng_backend=combo.rng_backend,
+            n_nodes=combo.n_nodes,
+            node_backend=combo.node_backend,
         )
         t0 = time.perf_counter()
         try:
@@ -166,6 +190,8 @@ def run_matrix(
     seed: int = 0,
     smoke: bool = False,
     worker_counts: tuple[int, ...] | None = None,
+    node_counts: tuple[int, ...] | None = None,
+    node_backend: str = "socket",
     progress=None,
 ) -> MatrixReport:
     """Run the scenario matrix: every selected scenario x the backend grid.
@@ -173,7 +199,7 @@ def run_matrix(
     ``progress`` is an optional callable receiving each completed
     :class:`ScenarioResult` (the CLI uses it to stream the table).
     """
-    combos = backend_grid(smoke, worker_counts)
+    combos = backend_grid(smoke, worker_counts, node_counts, node_backend)
     scenarios = select_scenarios(scenario_names, smoke=smoke)
     report = MatrixReport(
         smoke=smoke,
@@ -183,6 +209,8 @@ def run_matrix(
             "kernel_backends": sorted({c.kernel_backend for c in combos}),
             "rng_backends": list(RNG_BACKENDS),
             "native_available": _native_available(),
+            "node_counts": sorted({c.n_nodes for c in combos} | {1}),
+            "node_backend": node_backend,
         },
     )
     for spec in scenarios:

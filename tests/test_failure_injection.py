@@ -4,6 +4,7 @@ import os
 import signal
 import subprocess
 import sys
+import threading
 import time
 
 import numpy as np
@@ -248,6 +249,98 @@ class TestScenarioKillResume:
         for f in tmp_path.glob("ganesh_*.npz"):
             if f.name in stamps:
                 assert f.stat().st_mtime_ns == stamps[f.name]
+
+
+class TestShardNodeDeath:
+    """Failure injection on the multi-node shard tier: a SIGKILLed node
+    process must surface as a typed ``NodeCrashedError`` (never a hang),
+    and a restarted run must resume bit-identically from the checkpoints
+    the surviving nodes wrote."""
+
+    def test_dead_node_raises_typed_error(self, tiny_matrix, tmp_path):
+        """Kill a node before dispatch: the driver detects the dead peer
+        deterministically and raises the shard tier's typed error."""
+        from repro.parallel.sharding import NodeCrashedError, ShardedExecutor
+
+        config = LearnerConfig(n_ganesh_runs=4, max_sampling_steps=3)
+        parents = np.asarray(range(tiny_matrix.n_vars), dtype=np.int64)
+        with ShardedExecutor(
+            tiny_matrix.values, parents, config, 1,
+            n_nodes=2, node_backend="socket", n_workers=1,
+            checkpoint_dir=tmp_path,
+        ) as executor:
+            executor.start()
+            assert len(executor.node_pids) == 2
+            os.kill(executor.node_pids[1], signal.SIGKILL)
+            with pytest.raises(NodeCrashedError):
+                executor.sample_ganesh_runs(4)
+            # A crashed tier refuses further dispatches instead of
+            # silently computing on the surviving subset.
+            with pytest.raises(NodeCrashedError):
+                executor.sample_ganesh_runs(4)
+
+    @pytest.mark.slow
+    def test_sigkill_mid_run_resumes_bit_identical(self, tmp_path):
+        """SIGKILL one shard node while chains are in flight on the
+        tie-heavy workload; the survivors' checkpoints must carry a
+        restarted run to exactly the uninterrupted ensemble."""
+        from repro.parallel.sharding import NodeCrashedError, ShardedExecutor
+
+        config, matrix = _tie_heavy_setup()
+        reference = LemonTreeLearner(config).sample_clusterings(
+            matrix, seed=5
+        )
+        parents = np.asarray(range(matrix.n_vars), dtype=np.int64)
+
+        executor = ShardedExecutor(
+            matrix.values, parents, config, 5,
+            n_nodes=2, node_backend="socket", n_workers=1,
+            checkpoint_dir=tmp_path,
+        )
+        killed = []
+
+        def _kill_after_first_checkpoint():
+            # Kill as soon as the first checkpoint lands — the run is
+            # then provably mid-flight with most chains still pending.
+            deadline = time.monotonic() + 60.0
+            while time.monotonic() < deadline:
+                if list(tmp_path.glob("ganesh_*.npz")):
+                    break
+                time.sleep(0.005)
+            pid = executor.node_pids[1]
+            os.kill(pid, signal.SIGKILL)
+            killed.append(pid)
+
+        try:
+            executor.start()
+            watcher = threading.Thread(
+                target=_kill_after_first_checkpoint, daemon=True
+            )
+            watcher.start()
+            with pytest.raises(NodeCrashedError):
+                executor.sample_ganesh_runs(config.n_ganesh_runs)
+            watcher.join(timeout=60.0)
+        finally:
+            executor.close()
+        assert killed
+
+        survivors = {
+            f.name: f.stat().st_mtime_ns for f in tmp_path.glob("ganesh_*.npz")
+        }
+        assert survivors  # the kill landed after work was checkpointed
+        assert len(survivors) < config.n_ganesh_runs  # ... but mid-flight
+
+        # The restarted (sequential) run replays only the lost chains and
+        # reproduces the uninterrupted ensemble bit for bit.
+        resumed = LemonTreeLearner(config).sample_clusterings(
+            matrix, seed=5, checkpoint_dir=tmp_path
+        )
+        assert len(resumed) == config.n_ganesh_runs
+        for got, want in zip(resumed, reference):
+            np.testing.assert_array_equal(got, want)
+        for f in tmp_path.glob("ganesh_*.npz"):
+            if f.name in survivors:
+                assert f.stat().st_mtime_ns == survivors[f.name]
 
 
 class TestMissingDataRejection:

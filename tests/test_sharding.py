@@ -1,0 +1,436 @@
+"""The multi-node shard tier: protocol, partitioning, calibration, identity.
+
+The tier's contract is the paper's output-consistency property lifted one
+level: for a fixed seed and RNG backend, the learned network is
+bit-identical for every shard count x worker count, on both the socket
+(real OS processes) and thread (in-process fallback) transports.  These
+tests pin the frame codec, the LPT shard planner, the tau/mu calibration
+math, and that contract end to end.
+"""
+
+from __future__ import annotations
+
+import pickle
+
+import numpy as np
+import pytest
+
+from repro.core.config import LearnerConfig, ParallelConfig
+from repro.core.learner import LemonTreeLearner
+from repro.parallel.costmodel import (
+    DEFAULT_REMOTE_PENALTY,
+    MachineModel,
+    calibrate_from_roundtrips,
+    resolve_remote_penalty,
+    set_calibrated_model,
+    steal_penalty,
+)
+from repro.parallel.sharding import (
+    MAX_FRAME_BYTES,
+    NodeCrashedError,
+    ShardedExecutor,
+    decode_frame_length,
+    encode_frame,
+    lpt_partition,
+)
+from repro.parallel.trace import WorkTrace
+from repro.validation.metrics import network_fingerprint
+
+
+def _sharded_config(
+    n_nodes: int,
+    node_backend: str = "thread",
+    n_workers: int = 1,
+    rng_backend: str = "philox",
+) -> LearnerConfig:
+    return LearnerConfig(
+        n_ganesh_runs=4,
+        max_sampling_steps=4,
+        rng_backend=rng_backend,
+        parallel=ParallelConfig(
+            n_workers=n_workers, n_nodes=n_nodes, node_backend=node_backend
+        ),
+    )
+
+
+def _sequential_config(rng_backend: str = "philox") -> LearnerConfig:
+    return _sharded_config(1, n_workers=1, rng_backend=rng_backend)
+
+
+class TestFrameCodec:
+    def test_round_trip(self):
+        message = ("result", {"results": [np.arange(5)], "seconds": 0.25})
+        frame = encode_frame(message)
+        length = decode_frame_length(frame[:8])
+        assert length == len(frame) - 8
+        tag, payload = pickle.loads(frame[8:])
+        assert tag == "result"
+        np.testing.assert_array_equal(payload["results"][0], np.arange(5))
+
+    def test_empty_message(self):
+        frame = encode_frame(("close",))
+        assert decode_frame_length(frame[:8]) == len(frame) - 8
+
+    def test_oversized_header_rejected(self):
+        import struct
+
+        header = struct.pack("!Q", MAX_FRAME_BYTES + 1)
+        with pytest.raises(NodeCrashedError, match="corrupt"):
+            decode_frame_length(header)
+
+    def test_max_frame_accepted(self):
+        import struct
+
+        assert decode_frame_length(struct.pack("!Q", MAX_FRAME_BYTES)) == (
+            MAX_FRAME_BYTES
+        )
+
+
+class TestLptPartition:
+    def test_covers_all_indices_once(self):
+        parts = lpt_partition([3.0, 1.0, 4.0, 1.0, 5.0, 9.0, 2.0], 3)
+        flat = sorted(i for part in parts for i in part)
+        assert flat == list(range(7))
+
+    def test_deterministic(self):
+        costs = [2.0, 2.0, 2.0, 1.0, 1.0]
+        assert lpt_partition(costs, 2) == lpt_partition(costs, 2)
+
+    def test_largest_first_balance(self):
+        # Classic LPT: [5, 4, 3, 2, 1] on 2 shards -> loads 8 / 7.
+        parts = lpt_partition([5.0, 4.0, 3.0, 2.0, 1.0], 2)
+        loads = sorted(sum([5.0, 4.0, 3.0, 2.0, 1.0][i] for i in part)
+                       for part in parts)
+        assert loads == [7.0, 8.0]
+
+    def test_descending_order_within_part(self):
+        costs = [1.0, 6.0, 2.0, 5.0, 3.0, 4.0]
+        for part in lpt_partition(costs, 2):
+            part_costs = [costs[i] for i in part]
+            assert part_costs == sorted(part_costs, reverse=True)
+
+    def test_single_part(self):
+        assert lpt_partition([1.0, 2.0], 1) == [[1, 0]]
+
+    def test_more_parts_than_items(self):
+        parts = lpt_partition([1.0], 3)
+        assert sum(len(p) for p in parts) == 1
+
+    def test_invalid_parts(self):
+        with pytest.raises(ValueError):
+            lpt_partition([1.0], 0)
+
+
+class TestCalibration:
+    def test_tau_from_small_echoes(self):
+        model = calibrate_from_roundtrips([4e-6, 2e-6, 6e-6], [1.0], 1)
+        assert model.tau == pytest.approx(2e-6)  # median(small) / 2
+
+    def test_mu_from_payload_excess(self):
+        # 1 ms empty echo, 3 ms with 1000 words each way:
+        # mu = (3ms - 1ms) / (2 * 1000 words).
+        model = calibrate_from_roundtrips([1e-3], [3e-3], 1000)
+        assert model.tau == pytest.approx(0.5e-3)
+        assert model.mu == pytest.approx(1e-6)
+
+    def test_mu_clamped_nonnegative(self):
+        # Jitter can make the large echo measure *faster*; mu clamps to 0.
+        model = calibrate_from_roundtrips([2e-3], [1e-3], 1000)
+        assert model.mu == 0.0
+
+    def test_median_resists_outliers(self):
+        model = calibrate_from_roundtrips([1e-6, 1e-6, 5e-1], [1.0], 1)
+        assert model.tau == pytest.approx(0.5e-6)
+
+    def test_empty_measurements_rejected(self):
+        with pytest.raises(ValueError):
+            calibrate_from_roundtrips([], [1.0], 1)
+        with pytest.raises(ValueError):
+            calibrate_from_roundtrips([1.0], [], 1)
+        with pytest.raises(ValueError):
+            calibrate_from_roundtrips([1.0], [1.0], 0)
+
+
+class TestRemotePenaltyResolution:
+    def test_explicit_wins(self):
+        previous = set_calibrated_model(MachineModel(tau=1.0, mu=1.0))
+        try:
+            assert resolve_remote_penalty(2.5) == 2.5
+        finally:
+            set_calibrated_model(previous)
+
+    def test_fallback_without_calibration(self):
+        previous = set_calibrated_model(None)
+        try:
+            assert resolve_remote_penalty() == DEFAULT_REMOTE_PENALTY
+        finally:
+            set_calibrated_model(previous)
+
+    def test_calibrated_model_supplies_penalty(self):
+        model = MachineModel(tau=1e-5, mu=1e-8)
+        previous = set_calibrated_model(model)
+        try:
+            assert resolve_remote_penalty() == pytest.approx(
+                steal_penalty(model)
+            )
+        finally:
+            set_calibrated_model(previous)
+
+    def test_schedulers_pick_up_calibration(self):
+        from repro.parallel.scheduler import placement_lpt_schedule
+        from repro.parallel.topology import MachineTopology, plan_placement
+
+        topology = MachineTopology(
+            numa_domains=((0, 1, 2, 3), (4, 5, 6, 7)), source="sysfs"
+        )
+        placement = plan_placement(topology, 4)
+        sizes = np.full(8, 4, dtype=np.int64)
+        costs = np.ones(int(sizes.sum()))
+        # With no explicit penalty the scheduler must resolve through the
+        # installed calibration; an extreme wire model steers every group
+        # home, so the makespan is the perfectly balanced one.
+        previous = set_calibrated_model(
+            MachineModel(tau=10.0, mu=10.0)
+        )
+        try:
+            result = placement_lpt_schedule(costs, sizes, placement)
+        finally:
+            set_calibrated_model(previous)
+        assert result.makespan == pytest.approx(costs.sum() / 4)
+
+
+class TestThreadCommPointToPoint:
+    def test_send_recv_orders_per_channel(self):
+        from repro.parallel.comm import _Context, ThreadComm
+
+        ctx = _Context(2)
+        a, b = ThreadComm(ctx, 0), ThreadComm(ctx, 1)
+        a.send("first", dest=1)
+        a.send("second", dest=1)
+        assert b.recv(source=0) == "first"
+        assert b.recv(source=0) == "second"
+        b.send(42, dest=0)
+        assert a.recv(source=1) == 42
+
+    def test_recv_timeout(self):
+        from repro.parallel.comm import _Context, ThreadComm
+
+        ctx = _Context(2)
+        b = ThreadComm(ctx, 1)
+        with pytest.raises(TimeoutError):
+            b.recv(source=0, timeout=0.01)
+
+    def test_bad_destination_rejected(self):
+        from repro.parallel.comm import _Context, ThreadComm
+
+        ctx = _Context(2)
+        a = ThreadComm(ctx, 0)
+        with pytest.raises(ValueError):
+            a.send("x", dest=2)
+
+
+class TestConfigValidation:
+    def test_n_nodes_floor(self):
+        with pytest.raises(ValueError, match="n_nodes"):
+            ParallelConfig(n_nodes=0)
+
+    def test_node_backend_choices(self):
+        with pytest.raises(ValueError, match="node_backend"):
+            ParallelConfig(node_backend="carrier-pigeon")
+        for backend in ("socket", "thread"):
+            assert ParallelConfig(node_backend=backend).node_backend == backend
+
+    def test_executor_validates_too(self, tiny_matrix):
+        parents = np.asarray(range(tiny_matrix.n_vars), dtype=np.int64)
+        config = LearnerConfig(max_sampling_steps=3)
+        with pytest.raises(ValueError):
+            ShardedExecutor(
+                tiny_matrix.values, parents, config, 0, n_nodes=0
+            )
+        with pytest.raises(ValueError):
+            ShardedExecutor(
+                tiny_matrix.values, parents, config, 0,
+                n_nodes=2, node_backend="smoke-signals",
+            )
+
+
+class TestShardedIdentityThread:
+    """Thread-transport identity: fast enough for every-PR runs."""
+
+    @pytest.mark.parametrize("rng_backend", ["philox", "mrg"])
+    @pytest.mark.parametrize("n_nodes", [2, 4])
+    def test_learn_bit_identical(self, tiny_matrix, n_nodes, rng_backend):
+        reference = LemonTreeLearner(
+            _sequential_config(rng_backend)
+        ).learn(tiny_matrix, seed=7)
+        sharded = LemonTreeLearner(
+            _sharded_config(n_nodes, "thread", rng_backend=rng_backend)
+        ).learn(tiny_matrix, seed=7)
+        assert network_fingerprint(sharded.network) == network_fingerprint(
+            reference.network
+        )
+
+    def test_learner_reports_shard_stats(self, tiny_matrix):
+        result = LemonTreeLearner(
+            _sharded_config(2, "thread")
+        ).learn(tiny_matrix, seed=7)
+        executor_stats = result.stats["executor"]
+        assert executor_stats["n_workers"] == 2
+        assert executor_stats["pools_constructed"] == 2
+        assert executor_stats["matrix_transfers"] == 2
+
+    def test_trace_records_node_tier(self, tiny_matrix):
+        trace = WorkTrace()
+        LemonTreeLearner(_sharded_config(2, "thread")).learn(
+            tiny_matrix, seed=7, trace=trace
+        )
+        assert set(trace.node_times) == {"shard0", "shard1"}
+        assert all(v >= 0 for v in trace.node_times.values())
+        assert sum(trace.node_transfer_bytes.values()) > 0
+        assert trace.calibration is not None
+        assert trace.calibration["tau"] >= 0.0
+        assert trace.calibration["mu"] >= 0.0
+        assert trace.topology["shard_nodes"] == 2
+
+    def test_checkpoint_resume_through_tier(self, tiny_matrix, tmp_path):
+        config = _sharded_config(2, "thread")
+        learner = LemonTreeLearner(config)
+        first = learner.sample_clusterings(
+            tiny_matrix, seed=3, checkpoint_dir=tmp_path
+        )
+        stamps = {
+            f.name: f.stat().st_mtime_ns for f in tmp_path.glob("ganesh_*.npz")
+        }
+        assert len(stamps) == config.n_ganesh_runs
+        second = learner.sample_clusterings(
+            tiny_matrix, seed=3, checkpoint_dir=tmp_path
+        )
+        for got, want in zip(second, first):
+            np.testing.assert_array_equal(got, want)
+        for f in tmp_path.glob("ganesh_*.npz"):
+            assert f.stat().st_mtime_ns == stamps[f.name]
+
+    def test_calibration_restored_after_close(self, tiny_matrix):
+        from repro.parallel.costmodel import calibrated_model
+
+        before = calibrated_model()
+        LemonTreeLearner(_sharded_config(2, "thread")).learn(
+            tiny_matrix, seed=7
+        )
+        assert calibrated_model() is before
+
+
+class TestShardedIdentitySocket:
+    """Socket-transport identity: real OS node processes, one cell per
+    PR (the full grid runs in the slow/CI shard job)."""
+
+    def test_learn_bit_identical_two_nodes(self, tiny_matrix):
+        reference = LemonTreeLearner(_sequential_config()).learn(
+            tiny_matrix, seed=7
+        )
+        sharded = LemonTreeLearner(_sharded_config(2, "socket")).learn(
+            tiny_matrix, seed=7
+        )
+        assert network_fingerprint(sharded.network) == network_fingerprint(
+            reference.network
+        )
+
+    def test_node_pids_are_real_processes(self, tiny_matrix):
+        import os
+
+        parents = np.asarray(range(tiny_matrix.n_vars), dtype=np.int64)
+        config = LearnerConfig(n_ganesh_runs=2, max_sampling_steps=3)
+        with ShardedExecutor(
+            tiny_matrix.values, parents, config, 1,
+            n_nodes=2, node_backend="socket", n_workers=1,
+        ) as executor:
+            executor.start()
+            assert len(set(executor.node_pids)) == 2
+            assert os.getpid() not in executor.node_pids
+            assert executor.calibration is not None
+            assert executor.calibration["node_backend"] == "socket"
+
+
+@pytest.mark.slow
+class TestShardedAcceptanceGrid:
+    """The issue's acceptance grid: node counts {1, 2, 4} x worker counts
+    x RNG backends, socket and thread transports, all bit-identical."""
+
+    @pytest.mark.parametrize("node_backend", ["thread", "socket"])
+    @pytest.mark.parametrize("rng_backend", ["philox", "mrg"])
+    def test_full_grid(self, tiny_matrix, node_backend, rng_backend):
+        reference = network_fingerprint(
+            LemonTreeLearner(_sequential_config(rng_backend))
+            .learn(tiny_matrix, seed=11)
+            .network
+        )
+        for n_nodes in (1, 2, 4):
+            for n_workers in (1, 2):
+                if n_nodes == 1 and n_workers == 1:
+                    continue  # that cell *is* the reference
+                config = _sharded_config(
+                    n_nodes, node_backend,
+                    n_workers=n_workers, rng_backend=rng_backend,
+                )
+                got = network_fingerprint(
+                    LemonTreeLearner(config).learn(tiny_matrix, seed=11).network
+                )
+                assert got == reference, (
+                    f"diverged at n_nodes={n_nodes} x w={n_workers} "
+                    f"({node_backend}/{rng_backend})"
+                )
+
+
+class TestValidationGridNodeAxis:
+    def test_node_counts_extend_grid(self):
+        from repro.validation.runner import backend_grid
+
+        base = backend_grid(smoke=True)
+        extended = backend_grid(smoke=True, node_counts=(1, 2))
+        shard_cells = [c for c in extended if c.n_nodes > 1]
+        # n=1 differentiates nothing; only n=2 joins, once per RNG backend.
+        assert len(extended) == len(base) + 2
+        assert {c.n_nodes for c in shard_cells} == {2}
+        assert {c.rng_backend for c in shard_cells} == {"philox", "mrg"}
+        assert all(c.node_backend == "socket" for c in shard_cells)
+
+    def test_combo_label_names_shard_tier(self):
+        from repro.validation.report import ComboResult
+
+        cell = ComboResult(1, "numpy", "mrg", n_nodes=2, node_backend="thread")
+        assert cell.label == "n=2(thread)/w=1/numpy/mrg"
+
+
+class TestCliNodeFlags:
+    def test_defaults(self):
+        from repro.cli import build_parser
+
+        args = build_parser().parse_args(["learn", "--preset", "yeast"])
+        assert args.nodes == 1
+        assert args.node_backend == "socket"
+
+    def test_learn_accepts_nodes(self):
+        from repro.cli import build_parser
+
+        args = build_parser().parse_args(
+            ["learn", "--preset", "yeast", "--nodes", "2",
+             "--node-backend", "thread"]
+        )
+        assert args.nodes == 2
+        assert args.node_backend == "thread"
+
+    def test_validate_accepts_node_axis(self):
+        from repro.cli import build_parser
+
+        args = build_parser().parse_args(
+            ["validate", "--smoke", "--nodes", "1", "2"]
+        )
+        assert args.nodes == [1, 2]
+
+    def test_rejects_unknown_backend(self):
+        from repro.cli import build_parser
+
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(
+                ["learn", "--preset", "yeast", "--node-backend", "bogus"]
+            )

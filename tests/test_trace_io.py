@@ -15,6 +15,10 @@ def _trace():
     trace.mark_time("ganesh", 1.0)
     trace.mark_time("consensus", 0.2)
     trace.mark_time("modules", 3.0)
+    trace.mark_node_time("shard0", 0.8)
+    trace.mark_node_transfer("shard0", 4096, 0.01)
+    trace.mark_node_steal("shard0", 2)
+    trace.calibration = {"tau": 2e-6, "mu": 6.4e-10}
     return trace
 
 
@@ -33,6 +37,12 @@ class TestSaveLoad:
             assert a.words == b.words
             assert a.run == b.run
             np.testing.assert_array_equal(a.costs, b.costs)
+        assert back.node_times == trace.node_times
+        assert back.node_transfer_bytes == trace.node_transfer_bytes
+        assert back.node_transfer_seconds == trace.node_transfer_seconds
+        assert back.node_steals == trace.node_steals
+        assert back.total_node_steals() == 2
+        assert back.calibration == trace.calibration
 
     def test_roundtrip_preserves_projection(self, tmp_path):
         trace = _trace()
