@@ -1,0 +1,162 @@
+"""Warm-vs-cold repeat-query latency of the always-on inference service.
+
+The acceptance gate of the service PR: resubmitting an identical job to a
+warm daemon must be at least 5x faster than a cold one-shot ``learn()``,
+while every served network stays bit-identical (sha256 fingerprint) to
+the sequential reference — across worker counts, both RNG backends, and
+with the shared score cache on and off.
+
+Three serving regimes are measured:
+
+* **cold** — a fresh one-shot ``learn()`` (the no-daemon baseline);
+* **warm (checkpoints)** — an identical resubmit on a warm daemon: Task 1
+  runs and Task 3 modules load from the job's checkpoint namespace;
+* **warm (score cache)** — the same resubmit with checkpoints disabled:
+  every kernel re-runs but answers from the shared score-cache memo.
+
+``REPRO_BENCH_SMOKE=1`` shrinks the workload and drops the 5x gate (CI
+containers share cores; the bit-identity asserts are unchanged).
+"""
+
+from __future__ import annotations
+
+import os
+import time
+
+from conftest import BENCH_SEED
+from repro.bench import render_table, save_results
+from repro.core.config import LearnerConfig, ParallelConfig
+from repro.core.learner import LemonTreeLearner
+from repro.data.synthetic import make_module_dataset
+from repro.scoring.kernel import set_shared_score_cache
+from repro.service import InferenceService
+from repro.validation.metrics import network_fingerprint
+
+SMOKE = bool(os.environ.get("REPRO_BENCH_SMOKE"))
+#: 5x is the PR's acceptance bar; only enforced off-smoke
+WARM_SPEEDUP_GATE = 5.0
+
+
+def _workload():
+    n, m = (60, 30) if SMOKE else (120, 60)
+    matrix = make_module_dataset(n, m, n_modules=8, seed=BENCH_SEED).matrix
+    config = LearnerConfig(
+        n_ganesh_runs=2,
+        n_update_steps=2,
+        n_splits_per_node=2,
+        parallel=ParallelConfig(n_workers=1),
+    )
+    return matrix, config
+
+
+def _one_shot_seconds(matrix, config, seed: int) -> tuple[float, str]:
+    t0 = time.perf_counter()
+    result = LemonTreeLearner(config).learn(matrix, seed)
+    return time.perf_counter() - t0, network_fingerprint(result.network)
+
+
+def test_warm_repeat_latency(tmp_path, capsys, benchmark):
+    matrix, config = _workload()
+    previous_store = set_shared_score_cache(None)
+    try:
+        cold_seconds, oracle = _one_shot_seconds(matrix, config, BENCH_SEED)
+
+        rows = []
+        fingerprints = {"cold one-shot": oracle}
+        results = {"cold_one_shot_s": cold_seconds}
+
+        # Warm path 1: checkpoint namespace (the daemon's default).
+        with InferenceService(
+            tmp_path / "ckpt", max_inflight=2, score_cache_bytes=0
+        ) as service:
+            first = service.wait(service.submit(matrix, config, BENCH_SEED))
+            warm = service.wait(service.submit(matrix, config, BENCH_SEED))
+            fingerprints["warm (checkpoints)"] = warm["fingerprint"]
+            results["first_submit_s"] = first["seconds"]
+            results["warm_checkpoint_s"] = warm["seconds"]
+
+        # Warm path 2: shared score cache only (checkpoints off).
+        set_shared_score_cache(None)
+        with InferenceService(
+            tmp_path / "cache", max_inflight=2, score_cache_bytes=256 << 20
+        ) as service:
+            service.wait(
+                service.submit(matrix, config, BENCH_SEED, use_checkpoints=False)
+            )
+            warm_cache = service.wait(
+                service.submit(matrix, config, BENCH_SEED, use_checkpoints=False)
+            )
+            fingerprints["warm (score cache)"] = warm_cache["fingerprint"]
+            results["warm_score_cache_s"] = warm_cache["seconds"]
+            counters = warm_cache["kernel_counters"]
+            results["warm_cache_store_hits"] = counters.get("store_hits", 0)
+            results["warm_cache_evaluations"] = counters.get("evaluations", 0)
+
+        # Bit-identity across worker counts, RNG backends, cache on/off.
+        set_shared_score_cache(None)
+        variant_fps = {}
+        for workers in (1, 2):
+            for rng_backend in ("philox", "mrg"):
+                for cache_bytes in (0, 64 << 20):
+                    variant = config.with_updates(
+                        rng_backend=rng_backend,
+                        parallel=ParallelConfig(
+                            n_workers=workers, score_cache_bytes=cache_bytes
+                        ),
+                    )
+                    set_shared_score_cache(None)
+                    _, fp = _one_shot_seconds(matrix, variant, BENCH_SEED)
+                    variant_fps[(workers, rng_backend, cache_bytes)] = fp
+        for (workers, rng_backend, cache_bytes), fp in variant_fps.items():
+            reference = variant_fps[(1, rng_backend, 0)]
+            assert fp == reference, (
+                f"w={workers} rng={rng_backend} cache={cache_bytes} diverged"
+            )
+        assert variant_fps[(1, "philox", 0)] == oracle
+
+        for label, fp in fingerprints.items():
+            assert fp == oracle, f"{label} diverged from the oracle"
+
+        warm_best = min(results["warm_checkpoint_s"], results["warm_score_cache_s"])
+        speedup = cold_seconds / max(warm_best, 1e-9)
+        results["warm_speedup"] = speedup
+        results["smoke"] = SMOKE
+        results["shape"] = list(matrix.shape)
+
+        rows = [
+            ["cold one-shot", f"{cold_seconds:.3f}", "1.0x", oracle[:12]],
+            [
+                "warm (checkpoints)",
+                f"{results['warm_checkpoint_s']:.3f}",
+                f"{cold_seconds / max(results['warm_checkpoint_s'], 1e-9):.1f}x",
+                fingerprints["warm (checkpoints)"][:12],
+            ],
+            [
+                "warm (score cache)",
+                f"{results['warm_score_cache_s']:.3f}",
+                f"{cold_seconds / max(results['warm_score_cache_s'], 1e-9):.1f}x",
+                fingerprints["warm (score cache)"][:12],
+            ],
+        ]
+        table = render_table(
+            "Repeat-query latency: cold one-shot vs warm daemon",
+            ["path", "time (s)", "speedup", "fingerprint"],
+            rows,
+        )
+        with capsys.disabled():
+            print("\n" + table)
+
+        assert results["warm_cache_store_hits"] > 0
+        assert results["warm_cache_evaluations"] == 0
+        if not SMOKE:
+            assert speedup >= WARM_SPEEDUP_GATE, (
+                f"warm repeat only {speedup:.1f}x faster than cold "
+                f"(gate {WARM_SPEEDUP_GATE}x)"
+            )
+
+        save_results("service", results)
+        benchmark.pedantic(
+            lambda: None, rounds=1, iterations=1
+        )
+    finally:
+        set_shared_score_cache(previous_store)

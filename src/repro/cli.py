@@ -7,6 +7,8 @@ Subcommands::
     python -m repro learn --preset yeast --scale 0.01 --out-xml net.xml
     python -m repro scale --input expr.tsv --seed 1 --procs 4 64 1024
     python -m repro compare --input expr.tsv --seed 1 --modules 6
+    python -m repro serve --dir run/ &
+    python -m repro submit --service run/ --input expr.tsv --seed 1 --wait
 
 ``learn`` runs the full Lemon-Tree pipeline (optionally with acyclicity
 post-processing), ``scale`` records a work trace and prints the projected
@@ -175,6 +177,74 @@ def build_parser() -> argparse.ArgumentParser:
                           help="shard transport for the --nodes combos")
     validate.add_argument("--out", default=None,
                           help="write the JSON scenario report here")
+
+    # Always-on inference service (daemon + client verbs).  The daemon
+    # owns one warm executor lease and the process-shared score cache
+    # across jobs; clients talk to it over a localhost socket discovered
+    # through <dir>/endpoint.json.
+    serve = sub.add_parser(
+        "serve",
+        help="run the always-on inference daemon",
+        description="Start a persistent job daemon in DIR: one warm "
+                    "executor lease and a process-shared score cache "
+                    "answer repeat queries from checkpoint namespaces "
+                    "and memoized split scores.  Clients find it through "
+                    "DIR/endpoint.json; every served network is "
+                    "bit-identical to a fresh one-shot learn.",
+    )
+    serve.add_argument("--dir", required=True, metavar="DIR",
+                       help="run directory: endpoint.json and per-job "
+                            "checkpoint namespaces live here")
+    serve.add_argument("--port", type=int, default=0,
+                       help="localhost port (0 = let the OS pick)")
+    serve.add_argument("--max-inflight", type=int, default=4,
+                       help="admission bound on queued + running jobs")
+    serve.add_argument("--score-cache-mb", type=int, default=256, metavar="MB",
+                       help="shared split-score cache budget in MiB "
+                            "(0 disables the cross-job cache)")
+
+    submit = sub.add_parser("submit", help="submit a job to a running daemon")
+    submit.add_argument("--service", required=True, metavar="DIR",
+                        help="the daemon's run directory (--dir of serve)")
+    _add_data_args(submit)
+    submit.add_argument("--seed", type=int, default=0)
+    submit.add_argument("--ganesh-runs", type=int, default=1)
+    submit.add_argument("--update-steps", type=int, default=1)
+    submit.add_argument("--init-clusters", type=float, default=None)
+    submit.add_argument("--splits", type=int, default=2)
+    submit.add_argument("--sampling-steps", type=int, default=10)
+    _add_executor_args(submit)
+    submit.add_argument("--priority", type=int, default=0,
+                        help="higher runs first; FIFO within a level")
+    submit.add_argument("--no-checkpoints", action="store_true",
+                        help="skip the job's checkpoint namespace "
+                             "(results are identical either way)")
+    submit.add_argument("--wait", action="store_true",
+                        help="block until the job finishes and print its "
+                             "result summary")
+    submit.add_argument("--timeout", type=float, default=600.0,
+                        help="--wait timeout in seconds")
+    submit.add_argument("--out-json", default=None,
+                        help="with --wait: write the learned network here")
+
+    status = sub.add_parser("status", help="show daemon job states")
+    status.add_argument("--service", required=True, metavar="DIR")
+    status.add_argument("--job", default=None, help="one job id (default: all)")
+    status.add_argument("--stats", action="store_true",
+                        help="also print service counters and cache stats")
+
+    result = sub.add_parser("result", help="fetch a finished job's network")
+    result.add_argument("--service", required=True, metavar="DIR")
+    result.add_argument("--job", required=True, help="job id from submit")
+    result.add_argument("--out-json", default=None,
+                        help="write the learned network JSON here")
+
+    cancel = sub.add_parser("cancel", help="cancel a queued job")
+    cancel.add_argument("--service", required=True, metavar="DIR")
+    cancel.add_argument("--job", required=True, help="job id from submit")
+
+    shutdown = sub.add_parser("shutdown", help="stop a running daemon")
+    shutdown.add_argument("--service", required=True, metavar="DIR")
     return parser
 
 
@@ -191,6 +261,11 @@ def _add_executor_args(parser: argparse.ArgumentParser) -> None:
                         default="dynamic",
                         help="executor dispatch: static blocks or dynamic "
                              "largest-first pulling")
+    parser.add_argument("--score-cache-mb", type=int, default=0, metavar="MB",
+                        help="byte budget (in MiB) of the process-shared "
+                             "split-score cache; 0 (default) keeps the "
+                             "per-kernel memo only — purely a speed knob, "
+                             "results are bit-identical")
     _add_topology_arg(parser)
     _add_node_args(parser)
 
@@ -241,6 +316,7 @@ def _parallel_config(args: argparse.Namespace) -> ParallelConfig:
         kernel_backend=getattr(args, "kernel_backend", "auto"),
         n_nodes=getattr(args, "nodes", 1),
         node_backend=getattr(args, "node_backend", "socket"),
+        score_cache_bytes=int(getattr(args, "score_cache_mb", 0)) * (1 << 20),
     )
 
 
@@ -500,6 +576,99 @@ def cmd_validate(args: argparse.Namespace) -> int:
     return 0 if report.ok else 1
 
 
+def _service_client(args: argparse.Namespace):
+    from repro.service import ServiceClient
+
+    return ServiceClient.from_dir(args.service)
+
+
+def cmd_serve(args: argparse.Namespace) -> int:
+    from repro.service import ServiceDaemon
+
+    daemon = ServiceDaemon(
+        args.dir,
+        port=args.port,
+        max_inflight=args.max_inflight,
+        score_cache_bytes=args.score_cache_mb * (1 << 20),
+    )
+    with daemon:
+        print(f"serving on {daemon.host}:{daemon.port} "
+              f"(endpoint {daemon.endpoint_path})", flush=True)
+        try:
+            daemon.serve_forever()
+        except KeyboardInterrupt:  # pragma: no cover - interactive stop
+            pass
+    print("daemon stopped")
+    return 0
+
+
+def cmd_submit(args: argparse.Namespace) -> int:
+    matrix = _load_matrix(args)
+    config = _learner_config(args)
+    client = _service_client(args)
+    job_id = client.submit(
+        matrix, config, args.seed,
+        priority=args.priority,
+        use_checkpoints=not args.no_checkpoints,
+    )
+    print(f"submitted {job_id}")
+    if not args.wait:
+        return 0
+    payload = client.wait(job_id, timeout=args.timeout)
+    print(f"{job_id} done: {payload['n_modules']} modules in "
+          f"{payload['seconds']:.2f} s (fingerprint {payload['fingerprint'][:16]})")
+    if args.out_json:
+        Path(args.out_json).write_text(payload["network_json"], encoding="utf-8")
+        print(f"wrote {args.out_json}")
+    return 0
+
+
+def cmd_status(args: argparse.Namespace) -> int:
+    client = _service_client(args)
+    rows = client.status(args.job)
+    if isinstance(rows, dict):
+        rows = [rows]
+    if not rows:
+        print("no jobs")
+    else:
+        print(f"{'job':<12} {'state':<10} {'prio':>4} {'seed':>6}  fingerprint")
+        for row in rows:
+            print(f"{row['job_id']:<12} {row['state']:<10} "
+                  f"{row['priority']:>4} {row['seed']:>6}  "
+                  f"{row['fingerprint'][:16]}")
+            if row.get("error"):
+                print(f"{'':<12} error: {row['error']['type']}: "
+                      f"{row['error']['message']}")
+    if args.stats:
+        import json as _json
+
+        print(_json.dumps(client.stats(), indent=2, default=str))
+    return 0
+
+
+def cmd_result(args: argparse.Namespace) -> int:
+    client = _service_client(args)
+    payload = client.result(args.job)
+    print(f"{args.job}: {payload['n_modules']} modules in "
+          f"{payload['seconds']:.2f} s (fingerprint {payload['fingerprint'][:16]})")
+    if args.out_json:
+        Path(args.out_json).write_text(payload["network_json"], encoding="utf-8")
+        print(f"wrote {args.out_json}")
+    return 0
+
+
+def cmd_cancel(args: argparse.Namespace) -> int:
+    cancelled = _service_client(args).cancel(args.job)
+    print(f"{args.job}: {'cancelled' if cancelled else 'not cancellable'}")
+    return 0 if cancelled else 1
+
+
+def cmd_shutdown(args: argparse.Namespace) -> int:
+    _service_client(args).shutdown()
+    print("shutdown requested")
+    return 0
+
+
 COMMANDS = {
     "generate": cmd_generate,
     "learn": cmd_learn,
@@ -510,6 +679,12 @@ COMMANDS = {
     "modules": cmd_modules,
     "report": cmd_report,
     "validate": cmd_validate,
+    "serve": cmd_serve,
+    "submit": cmd_submit,
+    "status": cmd_status,
+    "result": cmd_result,
+    "cancel": cmd_cancel,
+    "shutdown": cmd_shutdown,
 }
 
 

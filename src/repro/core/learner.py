@@ -78,7 +78,12 @@ class LemonTreeLearner:
 
     # -- pipeline ---------------------------------------------------------
     def learn(
-        self, matrix: ExpressionMatrix, seed: int, trace=None, checkpoint_dir=None
+        self,
+        matrix: ExpressionMatrix,
+        seed: int,
+        trace=None,
+        checkpoint_dir=None,
+        executor=None,
     ) -> LearnResult:
         """Learn a module network from ``matrix`` with the given seed.
 
@@ -97,17 +102,27 @@ class LemonTreeLearner:
         both Task 1 (the G independent GaneSH runs) and Task 3 (module
         learning): one pool construction, one shared-memory matrix
         transfer, per ``learn`` call.
+
+        ``executor`` lends an externally owned executor (the service
+        daemon's warm pool) for this invocation: the learner dispatches on
+        it but never closes it, so the pool — and each worker's shared
+        score cache — survives into the next job.  The caller is
+        responsible for the executor matching ``(matrix, config, seed,
+        checkpoint_dir)``.
         """
         _require_complete(matrix)
         config = self.config
         if checkpoint_dir is None:
             checkpoint_dir = config.parallel.checkpoint_dir
         data = matrix.values
+        self._ensure_score_cache()
         if trace is not None:
             # Discard counters accumulated by earlier un-traced runs in this
             # process so the trace covers exactly this invocation.
             consume_kernel_totals()
-        executor = self._make_executor(data, seed, checkpoint_dir)
+        owns_executor = executor is None
+        if owns_executor:
+            executor = self._make_executor(data, seed, checkpoint_dir)
         try:
             t0 = time.perf_counter()
             samples = self._task_ganesh(
@@ -121,7 +136,7 @@ class LemonTreeLearner:
             )
             t3 = time.perf_counter()
         finally:
-            if executor is not None:
+            if owns_executor and executor is not None:
                 executor.close()
 
         if trace is not None:
@@ -152,6 +167,20 @@ class LemonTreeLearner:
                 "matrix_transfers": executor.stats.matrix_transfers,
             }
         return LearnResult(network=network, task_times=times, trace=trace, stats=stats)
+
+    def _ensure_score_cache(self) -> None:
+        """Install the driver-process shared score cache when configured.
+
+        Pool workers install their own in ``_executor_init``; this covers
+        the serial path and driver-side scoring, where kernels are built
+        in this process.  The store persists across ``learn`` calls by
+        design — that cross-job reuse is the service's warm path.
+        """
+        bytes_ = getattr(self.config.parallel, "score_cache_bytes", 0)
+        if bytes_ > 0:
+            from repro.scoring.kernel import ensure_shared_score_cache
+
+            ensure_shared_score_cache(bytes_)
 
     def _make_executor(self, data: np.ndarray, seed: int, checkpoint_dir=None):
         """One persistent executor for the whole invocation, or ``None``
@@ -248,6 +277,7 @@ class LemonTreeLearner:
         _require_complete(matrix)
         if checkpoint_dir is None:
             checkpoint_dir = self.config.parallel.checkpoint_dir
+        self._ensure_score_cache()
         seen: set[int] = set()
         for members in modules_members:
             for var in members:

@@ -238,6 +238,11 @@ def _executor_init(
     parallel = getattr(config, "parallel", None)
     if parallel is not None:
         kernel_mod.set_kernel_backend(parallel.kernel_backend)
+        if getattr(parallel, "score_cache_bytes", 0) > 0:
+            # One bounded store per worker process; it outlives individual
+            # jobs for as long as the pool does, so a service reusing the
+            # pool serves repeat nodes from memory.
+            kernel_mod.ensure_shared_score_cache(parallel.score_cache_bytes)
     _STATE["domain"] = domain
     _STATE["steal"] = steal_shared
     shm, data = _attach_shared(matrix_spec)
@@ -789,6 +794,16 @@ class TaskPoolExecutor:
             return 0
         return int(self._init_counter.value)
 
+    def worker_pids(self) -> list[int]:
+        """PIDs of the live pool worker processes (empty before the pool
+        is built or on the serial path).  Exposed so the service can
+        report — and failure-injection tests can target — the processes
+        actually executing a job."""
+        pool = self._pool
+        if pool is None:
+            return []
+        return [proc.pid for proc in getattr(pool, "_pool", []) if proc.pid]
+
     def _ensure_pool(self):
         """Create the shared matrix and the pool once, on first dispatch."""
         if self._pool is None:
@@ -859,6 +874,12 @@ class TaskPoolExecutor:
                 self._prev_kernel_backend = kernel_mod.set_kernel_backend(
                     parallel.kernel_backend
                 )
+        parallel = getattr(self.config, "parallel", None)
+        if parallel is not None and getattr(parallel, "score_cache_bytes", 0) > 0:
+            # Serial path: in-process kernels share the driver's store.  The
+            # store deliberately survives close() — cross-job reuse in a
+            # long-lived process is the point — so no restore bookkeeping.
+            kernel_mod.ensure_shared_score_cache(parallel.score_cache_bytes)
 
     def _ensure_serial(self) -> None:
         """Install the in-process scoring state (n_workers == 1 path)."""

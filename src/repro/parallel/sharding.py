@@ -253,6 +253,7 @@ def _node_serve(channel, node_id: int) -> None:
                     spec["seed"],
                     n_workers=spec["n_workers"],
                     checkpoint_dir=spec["checkpoint_dir"],
+                    mp_context=spec.get("mp_context"),
                 )
                 channel.send_msg(("ok", {"pid": os.getpid()}))
             elif kind == "echo":
@@ -458,6 +459,14 @@ class ShardedExecutor:
                     "checkpoint_dir": checkpoint_dir,
                     "n_workers": self.workers_per_node,
                     "node_id": node_id,
+                    # Thread-backend nodes live inside the (multi-threaded)
+                    # driver process: forking a pool there can capture a
+                    # lock mid-held and deadlock the child, so those pools
+                    # must spawn.  Socket nodes are fresh single-threaded
+                    # processes where the cheaper fork default is safe.
+                    "mp_context": (
+                        "spawn" if self.node_backend == "thread" else None
+                    ),
                 })
             )
         for node_id, channel in enumerate(channels):

@@ -196,6 +196,12 @@ class WorkTrace:
         agg["backends"] = sorted(
             set(agg.get("backends", [])) | set(counters.get("backends", []))
         )
+        # Shared-score-cache traffic (store_hits / store_misses /
+        # store_evictions) is only present when a process consulted a
+        # shared store; merge without widening cache-off traces.
+        for key in ("store_hits", "store_misses", "store_evictions"):
+            if key in counters or key in agg:
+                agg[key] = agg.get(key, 0) + int(counters.get(key, 0))
 
     def total_steals(self) -> int:
         """Cross-domain steals summed over all workers."""

@@ -1,0 +1,207 @@
+"""Process-shared, content-addressed split-score cache.
+
+:class:`repro.scoring.kernel.LazySplitKernel` memoizes ``(group, beta)``
+scores per *instance*: every kernel construction re-derives the candidate
+grouping tables and re-allocates a zeroed score table plus its seen
+bitmask, even when the node it describes — the exact ``(values, sign,
+beta_grid)`` triple — was scored moments ago by another kernel.  One-shot
+``learn()`` calls never notice (each node is scored once), but a
+long-lived service answering repeated or overlapping queries pays the
+full evaluation cost of identical nodes again on every job.
+
+:class:`SharedScoreCache` promotes that memo to a process-shared store:
+
+* **content-addressed** — the key is a SHA-256 digest over the byte
+  contents *and shapes* of ``(values, sign, beta_grid)``.  Two distinct
+  inputs therefore collide only on a SHA-256 collision: the shape header
+  separates same-byte reshapes, and each array's length is fixed by the
+  header, so the concatenated byte stream is an injective encoding.
+* **bounded** — entries are LRU-ordered and the store never holds more
+  than ``max_bytes`` of array payload.  An entry larger than the whole
+  budget is rejected outright rather than evicting everything else.
+* **safe to evict** — a hit hands out *references* to the entry's arrays;
+  a kernel constructed from them keeps scoring correctly even if the
+  entry is evicted a microsecond later.  Eviction can therefore only ever
+  change counters, never results — the property the hypothesis suite
+  asserts.
+
+Cached score tables are deterministic functions of the key material
+(every ``(group, beta)`` value is the quantized log-sigmoid row sum of
+rows derived from ``values``/``sign``/``beta_grid``), so serving them
+across kernels — or mutating them in place as later kernels evaluate
+more pairs — cannot change any score: bit-identity to the cache-off path
+holds by construction.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import struct
+import threading
+from dataclasses import dataclass
+
+import numpy as np
+
+#: default byte budget of the service's score cache (256 MiB)
+DEFAULT_SCORE_CACHE_BYTES = 256 * 1024 * 1024
+
+_KEY_VERSION = b"repro-score-cache-v1"
+
+
+def score_cache_key(
+    values: np.ndarray, sign: np.ndarray, beta_grid: np.ndarray
+) -> bytes:
+    """The content address of one ``(values, sign, beta_grid)`` triple.
+
+    The digest covers a version tag, the shapes (so equal byte strings
+    under different ``(P, n_obs)`` factorizations hash apart) and the raw
+    bytes of all three arrays.  With lengths pinned by the header the
+    encoding is injective: distinct triples collide only if SHA-256 does.
+    """
+    values = np.ascontiguousarray(values, dtype=np.float64)
+    sign = np.ascontiguousarray(sign, dtype=np.float64)
+    beta_grid = np.ascontiguousarray(beta_grid, dtype=np.float64)
+    digest = hashlib.sha256()
+    digest.update(_KEY_VERSION)
+    digest.update(
+        struct.pack(
+            "<QQQ", values.shape[0], values.shape[1], beta_grid.size
+        )
+    )
+    digest.update(values.tobytes())
+    digest.update(sign.tobytes())
+    digest.update(beta_grid.tobytes())
+    return digest.digest()
+
+
+@dataclass
+class CacheEntry:
+    """One node's grouping tables and (live) score memo.
+
+    ``cache``/``seen`` are shared by reference with every kernel built
+    from this entry: pairs evaluated by one kernel are hits for the next.
+    ``nbytes`` is fixed at insertion — the arrays never change size.
+    """
+
+    item_groups: np.ndarray
+    group_row: np.ndarray
+    group_value: np.ndarray
+    n_groups: int
+    cache: np.ndarray
+    seen: np.ndarray
+    nbytes: int
+
+    @classmethod
+    def from_arrays(
+        cls,
+        item_groups: np.ndarray,
+        group_row: np.ndarray,
+        group_value: np.ndarray,
+        n_groups: int,
+        cache: np.ndarray,
+        seen: np.ndarray,
+    ) -> "CacheEntry":
+        nbytes = int(
+            item_groups.nbytes
+            + group_row.nbytes
+            + group_value.nbytes
+            + cache.nbytes
+            + seen.nbytes
+        )
+        return cls(
+            item_groups=item_groups,
+            group_row=group_row,
+            group_value=group_value,
+            n_groups=int(n_groups),
+            cache=cache,
+            seen=seen,
+            nbytes=nbytes,
+        )
+
+
+class SharedScoreCache:
+    """Bounded LRU store of :class:`CacheEntry` keyed by content address.
+
+    Thread-safe: the service's status thread reads counters while the
+    runner thread scores.  All methods take one short lock; the arrays
+    themselves are handed out by reference and never copied.
+    """
+
+    def __init__(self, max_bytes: int = DEFAULT_SCORE_CACHE_BYTES) -> None:
+        if int(max_bytes) <= 0:
+            raise ValueError("max_bytes must be positive")
+        self.max_bytes = int(max_bytes)
+        from collections import OrderedDict
+
+        self._entries: "OrderedDict[bytes, CacheEntry]" = OrderedDict()
+        self._lock = threading.Lock()
+        self.current_bytes = 0
+        self.hits = 0
+        self.misses = 0
+        self.evictions = 0
+        self.insertions = 0
+        #: entries larger than the whole budget, refused at insert
+        self.rejected = 0
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._entries)
+
+    def __contains__(self, key: bytes) -> bool:
+        """Membership peek: touches neither counters nor LRU order."""
+        with self._lock:
+            return key in self._entries
+
+    def lookup(self, key: bytes) -> CacheEntry | None:
+        """The entry at ``key`` (refreshing its LRU position), or None."""
+        with self._lock:
+            entry = self._entries.get(key)
+            if entry is None:
+                self.misses += 1
+                return None
+            self._entries.move_to_end(key)
+            self.hits += 1
+            return entry
+
+    def insert(self, key: bytes, entry: CacheEntry) -> int:
+        """Store ``entry`` under ``key``; returns how many entries were
+        evicted to make room (0 when the entry was rejected or the key
+        was already present — a concurrent builder won the race)."""
+        with self._lock:
+            if key in self._entries:
+                self._entries.move_to_end(key)
+                return 0
+            if entry.nbytes > self.max_bytes:
+                self.rejected += 1
+                return 0
+            evicted = 0
+            while self._entries and (
+                self.current_bytes + entry.nbytes > self.max_bytes
+            ):
+                _, victim = self._entries.popitem(last=False)
+                self.current_bytes -= victim.nbytes
+                self.evictions += 1
+                evicted += 1
+            self._entries[key] = entry
+            self.current_bytes += entry.nbytes
+            self.insertions += 1
+            return evicted
+
+    def clear(self) -> None:
+        with self._lock:
+            self._entries.clear()
+            self.current_bytes = 0
+
+    def snapshot(self) -> dict:
+        """Counter snapshot for status endpoints and traces."""
+        with self._lock:
+            return {
+                "max_bytes": self.max_bytes,
+                "bytes": self.current_bytes,
+                "entries": len(self._entries),
+                "hits": self.hits,
+                "misses": self.misses,
+                "evictions": self.evictions,
+                "insertions": self.insertions,
+                "rejected": self.rejected,
+            }

@@ -463,3 +463,130 @@ class TestInitClusterResolution:
 
     def test_fraction_floor_is_one(self):
         assert LearnerConfig(init_var_clusters=0.001).resolve_init_clusters(10) == 1
+
+
+# -- daemon crash isolation ---------------------------------------------------
+#
+# The always-on service must contain worker death to the job it struck:
+# the job fails with the executor's typed error, the lease discards the
+# poisoned pool, and the next queued job completes bit-identically on a
+# fresh one.
+
+
+def _daemon_job_config(workers: int = 2) -> LearnerConfig:
+    """A multi-second job (so a worker can be killed mid-flight)."""
+    return LearnerConfig(
+        n_ganesh_runs=4,
+        n_update_steps=3,
+        n_splits_per_node=3,
+        parallel=ParallelConfig(n_workers=workers),
+    )
+
+
+class TestDaemonCrashIsolation:
+    @pytest.fixture(autouse=True)
+    def _isolated_store(self):
+        """The shared score store is process-global; the service installs
+        one on construction, so reset around every test here to keep the
+        rest of the suite's kernel counters untouched."""
+        from repro.scoring.kernel import (
+            consume_kernel_totals,
+            set_shared_score_cache,
+        )
+
+        previous = set_shared_score_cache(None)
+        consume_kernel_totals()
+        yield
+        set_shared_score_cache(previous)
+        consume_kernel_totals()
+
+    @pytest.mark.slow
+    def test_sigkilled_worker_fails_job_next_job_bit_identical(self, tmp_path):
+        from repro.data.synthetic import make_module_dataset
+        from repro.service import InferenceService, JobFailed
+        from repro.validation.metrics import network_fingerprint
+
+        matrix = make_module_dataset(120, 60, n_modules=8, seed=3).matrix
+        config = _daemon_job_config()
+        oracle = network_fingerprint(
+            LemonTreeLearner(
+                config.with_updates(parallel=ParallelConfig(n_workers=1))
+            ).learn(matrix, seed=9).network
+        )
+        with InferenceService(
+            tmp_path, max_inflight=4, score_cache_bytes=0,
+            crash_poll_seconds=0.2,
+        ) as service:
+            job = service.submit(matrix, config, 9, use_checkpoints=False)
+            deadline = time.monotonic() + 60
+            pids: list[int] = []
+            while time.monotonic() < deadline:
+                row = service.status(job)
+                pids = row.get("worker_pids", [])
+                # Wait for every (spawn-context) worker to finish booting:
+                # killing one mid-import loses no task, the pool respawns
+                # it, and the job would legitimately succeed.
+                if (
+                    row["state"] == "running"
+                    and pids
+                    and row.get("worker_inits", 0) >= 2
+                ):
+                    break
+                if row["state"] in ("done", "failed"):
+                    break
+                time.sleep(0.01)
+            assert pids, "job never reached a running pool"
+            time.sleep(0.3)  # let the booted workers dequeue real work
+            os.kill(pids[0], signal.SIGKILL)
+
+            with pytest.raises(JobFailed) as err:
+                service.wait(job, timeout=120)
+            assert err.value.error_type == "WorkerCrashedError"
+            assert service.status(job)["state"] == "failed"
+            # The poisoned pool was discarded.
+            assert service.stats()["executor"]["invalidations"] == 1
+
+            # The NEXT job gets a fresh pool and the exact oracle network.
+            job2 = service.submit(matrix, config, 9, use_checkpoints=False)
+            payload = service.wait(job2, timeout=300)
+            assert payload["fingerprint"] == oracle
+            assert payload["executor_reused"] is False
+
+    def test_admission_rejection_is_typed_and_recoverable(self, tiny_matrix, tmp_path):
+        from repro.service import AdmissionRejected, InferenceService
+
+        config = LearnerConfig(
+            max_sampling_steps=5, parallel=ParallelConfig(n_workers=1)
+        )
+        service = InferenceService(tmp_path, max_inflight=2, autostart=False)
+        try:
+            kept = service.submit(tiny_matrix, config, 1)
+            service.submit(tiny_matrix, config, 2)
+            with pytest.raises(AdmissionRejected):
+                service.submit(tiny_matrix, config, 3)
+            # Rejection leaves the queue intact: both admitted jobs run.
+            service.start()
+            assert service.wait(kept, timeout=300)["fingerprint"]
+        finally:
+            service.close()
+
+    def test_cancel_mid_queue_skips_only_the_cancelled_job(self, tiny_matrix, tmp_path):
+        from repro.service import InferenceService, JobCancelled
+
+        config = LearnerConfig(
+            max_sampling_steps=5, parallel=ParallelConfig(n_workers=1)
+        )
+        service = InferenceService(tmp_path, max_inflight=8, autostart=False)
+        try:
+            first = service.submit(tiny_matrix, config, 1)
+            doomed = service.submit(tiny_matrix, config, 2)
+            last = service.submit(tiny_matrix, config, 3)
+            assert service.cancel(doomed) is True
+            service.start()
+            assert service.wait(first, timeout=300)["fingerprint"]
+            assert service.wait(last, timeout=300)["fingerprint"]
+            with pytest.raises(JobCancelled):
+                service.result(doomed)
+            assert service.status(doomed)["state"] == "cancelled"
+        finally:
+            service.close()

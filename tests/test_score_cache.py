@@ -1,0 +1,321 @@
+"""Property tests of the process-shared split-score cache.
+
+The :class:`~repro.scoring.score_cache.SharedScoreCache` promotes the
+per-kernel-instance ``(group, beta)`` memo to a process-shared,
+content-addressed LRU store.  The properties that make that promotion
+safe are exactly what this file pins down:
+
+* **eviction never changes results** — kernels adopt entry arrays by
+  reference, so evicting an entry only changes counters, never a score;
+* **the byte cap is a strict invariant** — ``current_bytes`` never
+  exceeds ``max_bytes``, and oversize entries are rejected outright;
+* **content addresses cannot collide across distinct inputs** — the key
+  encodes the shapes before the payload bytes, so two different
+  ``(values, sign, beta_grid)`` triples agree only if sha256 collides;
+* **hit accounting keeps the existing ``DenseScoreMemo`` contract** —
+  ``hits + evaluations`` per batch equals the lookup count, whether the
+  kernel's memo came from the store or was built fresh.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.config import LearnerConfig, ParallelConfig
+from repro.core.learner import LemonTreeLearner
+from repro.parallel.trace import WorkTrace
+from repro.scoring.kernel import (
+    DenseScoreMemo,
+    LazySplitKernel,
+    consume_kernel_totals,
+    ensure_shared_score_cache,
+    set_shared_score_cache,
+    shared_score_cache,
+)
+from repro.scoring.score_cache import (
+    CacheEntry,
+    SharedScoreCache,
+    score_cache_key,
+)
+
+BETA_GRID = (1.0, 5.0, 20.0)
+
+
+@pytest.fixture(autouse=True)
+def _isolated_store():
+    """The store is process-global by design; keep tests independent."""
+    previous = set_shared_score_cache(None)
+    consume_kernel_totals()
+    yield
+    set_shared_score_cache(previous)
+    consume_kernel_totals()
+
+
+def _kernel(seed: int, shape=(4, 9), **kwargs) -> LazySplitKernel:
+    rng = np.random.default_rng(seed)
+    values = rng.normal(size=shape)
+    sign = np.where(rng.random(shape[1]) < 0.5, 1.0, -1.0)
+    return LazySplitKernel(values, sign, BETA_GRID, **kwargs)
+
+
+def _entry_for(seed: int, shape=(4, 9)) -> tuple[bytes, CacheEntry]:
+    kernel = _kernel(seed, shape, shared_cache=None)
+    key = score_cache_key(kernel.values, kernel.sign, kernel.beta_grid)
+    entry = CacheEntry.from_arrays(
+        kernel.item_groups,
+        kernel.group_row,
+        kernel.group_value,
+        kernel.n_groups,
+        kernel._cache,
+        kernel._seen,
+    )
+    return key, entry
+
+
+class TestContentAddress:
+    def test_identical_inputs_share_a_key(self):
+        rng = np.random.default_rng(0)
+        values = rng.normal(size=(3, 7))
+        sign = np.ones(7)
+        assert score_cache_key(values, sign, BETA_GRID) == score_cache_key(
+            values.copy(), sign.copy(), list(BETA_GRID)
+        )
+
+    def test_distinct_matrices_get_distinct_keys(self):
+        rng = np.random.default_rng(1)
+        values = rng.normal(size=(3, 7))
+        sign = np.ones(7)
+        base = score_cache_key(values, sign, BETA_GRID)
+        bumped = values.copy()
+        bumped[1, 3] += 1e-12
+        assert score_cache_key(bumped, sign, BETA_GRID) != base
+
+    def test_sign_and_beta_enter_the_key(self):
+        rng = np.random.default_rng(2)
+        values = rng.normal(size=(3, 7))
+        sign = np.ones(7)
+        base = score_cache_key(values, sign, BETA_GRID)
+        flipped = sign.copy()
+        flipped[0] = -1.0
+        assert score_cache_key(values, flipped, BETA_GRID) != base
+        assert score_cache_key(values, sign, BETA_GRID[:-1]) != base
+
+    def test_shape_aliasing_impossible(self):
+        """The key encodes (P, n_obs, n_beta) before the payload bytes, so
+        reshapes of identical bytes cannot alias by construction."""
+        values = np.arange(12.0).reshape(3, 4)
+        k1 = score_cache_key(values, np.ones(4), BETA_GRID)
+        k2 = score_cache_key(
+            values.reshape(4, 3), np.ones(3), BETA_GRID
+        )
+        assert k1 != k2
+
+    @given(st.integers(0, 2**32 - 1), st.integers(0, 2**32 - 1))
+    @settings(max_examples=25, deadline=None)
+    def test_random_pairs_never_collide(self, seed_a, seed_b):
+        rng_a, rng_b = np.random.default_rng(seed_a), np.random.default_rng(seed_b)
+        va, vb = rng_a.normal(size=(2, 5)), rng_b.normal(size=(2, 5))
+        ka = score_cache_key(va, np.ones(5), BETA_GRID)
+        kb = score_cache_key(vb, np.ones(5), BETA_GRID)
+        assert (ka == kb) == np.array_equal(va, vb)
+
+
+class TestByteCap:
+    def test_rejects_nonpositive_budget(self):
+        with pytest.raises(ValueError):
+            SharedScoreCache(max_bytes=0)
+
+    @given(st.integers(1, 12), st.integers(2, 6))
+    @settings(max_examples=20, deadline=None)
+    def test_cap_never_exceeded(self, n_entries, cap_entries):
+        _, probe = _entry_for(0)
+        store = SharedScoreCache(max_bytes=probe.nbytes * cap_entries + 1)
+        for seed in range(n_entries):
+            key, entry = _entry_for(seed)
+            store.insert(key, entry)
+            assert store.current_bytes <= store.max_bytes
+        snap = store.snapshot()
+        assert snap["bytes"] <= snap["max_bytes"]
+        assert snap["entries"] == min(n_entries, len(store))
+
+    def test_oversize_entry_rejected_not_stored(self):
+        key, entry = _entry_for(3)
+        store = SharedScoreCache(max_bytes=max(1, entry.nbytes - 1))
+        store.insert(key, entry)
+        assert len(store) == 0
+        assert store.current_bytes == 0
+        assert store.snapshot()["rejected"] == 1
+        assert store.lookup(key) is None
+
+    def test_lru_eviction_order(self):
+        k0, e0 = _entry_for(0)
+        k1, e1 = _entry_for(1)
+        k2, e2 = _entry_for(2)
+        store = SharedScoreCache(max_bytes=e0.nbytes + e1.nbytes)
+        store.insert(k0, e0)
+        store.insert(k1, e1)
+        assert store.lookup(k0) is not None  # refresh k0: k1 is now LRU
+        store.insert(k2, e2)
+        assert store.lookup(k1) is None
+        assert store.lookup(k0) is not None
+        assert store.snapshot()["evictions"] == 1
+
+
+class TestEvictionSafety:
+    def test_evicted_kernel_keeps_serving_identical_scores(self):
+        """Entries hand out their arrays by reference: a kernel built from
+        the store keeps scoring correctly after its entry is evicted —
+        eviction changes counters, never results."""
+        reference = _kernel(7, shared_cache=None)
+        groups = np.arange(reference.n_groups, dtype=np.int64)
+        beta = np.zeros(reference.n_groups, dtype=np.int64)
+        expected = reference.scores(groups, beta)
+
+        _, probe = _entry_for(7)
+        store = SharedScoreCache(max_bytes=probe.nbytes * 3)
+        first = _kernel(7, shared_cache=store)  # miss: publishes the entry
+        adopted = _kernel(7, shared_cache=store)  # hit: adopts by reference
+        assert adopted.from_shared_cache
+        pre_eviction = adopted.scores(groups[:4], beta[:4])
+        # Evict everything by flooding with distinct entries (the peek
+        # must not refresh LRU order, or the flood never wins).
+        adopted_key = score_cache_key(
+            adopted.values, adopted.sign, adopted.beta_grid
+        )
+        for seed in range(100, 140):
+            k, e = _entry_for(seed)
+            store.insert(k, e)
+            if adopted_key not in store:
+                break
+        else:  # pragma: no cover - flood sized to always evict
+            pytest.fail("entry never evicted")
+        post_eviction = adopted.scores(groups, beta)
+        np.testing.assert_array_equal(post_eviction, expected)
+        np.testing.assert_array_equal(pre_eviction, expected[:4])
+        np.testing.assert_array_equal(first.scores(groups, beta), expected)
+
+    def test_adopted_memo_shares_evaluations(self):
+        """The memo grows in place: pairs one kernel evaluates are hits
+        for every later kernel of the same content."""
+        store = SharedScoreCache(max_bytes=1 << 20)
+        first = _kernel(11, shared_cache=store)
+        groups = np.arange(first.n_groups, dtype=np.int64)
+        beta = np.ones(first.n_groups, dtype=np.int64)
+        first.scores(groups, beta)
+        assert first.evaluations > 0
+
+        second = _kernel(11, shared_cache=store)
+        assert second.from_shared_cache
+        second.scores(groups, beta)
+        assert second.evaluations == 0
+        assert second.hits == groups.size
+
+
+class TestHitAccounting:
+    @given(st.integers(0, 2**16), st.integers(1, 40))
+    @settings(max_examples=20, deadline=None)
+    def test_lazy_kernel_keeps_dense_memo_contract(self, seed, n_lookups):
+        """Per batch, hits + newly evaluated pairs == lookups — the
+        observable ``DenseScoreMemo`` contract — store-backed or not."""
+        rng = np.random.default_rng(seed)
+        store = SharedScoreCache(max_bytes=1 << 20)
+        for shared in (None, store, store):
+            kernel = _kernel(seed % 7, shared_cache=shared)
+            groups = rng.integers(0, kernel.n_groups, size=n_lookups)
+            beta = rng.integers(0, len(BETA_GRID), size=n_lookups)
+            hits0, evals0 = kernel.hits, kernel.evaluations
+            kernel.scores(groups, beta)
+            new_pairs = np.unique(
+                groups * len(BETA_GRID) + beta
+            ).size
+            batch_hits = kernel.hits - hits0
+            batch_evals = kernel.evaluations - evals0
+            assert batch_hits + batch_evals >= n_lookups - new_pairs
+            assert batch_hits + batch_evals <= n_lookups
+            # Every looked-up pair is seen afterwards: a repeat batch is
+            # all hits, zero evaluations (the memoization contract).
+            hits1 = kernel.hits
+            kernel.scores(groups, beta)
+            assert kernel.evaluations == evals0 + batch_evals
+            assert kernel.hits == hits1 + n_lookups
+
+    def test_dense_and_lazy_agree_through_the_store(self):
+        """Store-backed lazy scores equal the dense memo's for the same
+        candidate enumeration (the bit-identity oracle)."""
+        rng = np.random.default_rng(3)
+        values = rng.normal(size=(3, 8))
+        sign = np.where(rng.random(8) < 0.5, 1.0, -1.0)
+        store = SharedScoreCache(max_bytes=1 << 20)
+        _ = LazySplitKernel(values, sign, BETA_GRID, shared_cache=store)
+        kernel = LazySplitKernel(values, sign, BETA_GRID, shared_cache=store)
+        assert kernel.from_shared_cache
+        margins = sign[None, None, :] * (values[:, :, None] - values[:, None, :])
+        memo = DenseScoreMemo(
+            margins.reshape(-1, 8), np.asarray(BETA_GRID)
+        )
+        items = np.arange(kernel.n_items, dtype=np.int64)
+        for b in range(len(BETA_GRID)):
+            beta = np.full(items.size, b, dtype=np.int64)
+            np.testing.assert_array_equal(
+                kernel.scores(kernel.item_groups[items], beta),
+                memo.scores(items, beta),
+            )
+
+
+class TestMemoLifecycleLeak:
+    """The per-kernel-instance memo leak: without the store every job
+    rebuilds and re-evaluates every kernel from scratch."""
+
+    def _run(self, matrix, members, trace):
+        config = LearnerConfig(
+            max_sampling_steps=5,
+            parallel=ParallelConfig(n_workers=1, score_cache_bytes=64 << 20),
+        )
+        return LemonTreeLearner(config).learn_from_modules(
+            matrix, members, seed=5, trace=trace
+        ).network
+
+    def test_second_job_evaluations_zero(self, tiny_matrix):
+        learner = LemonTreeLearner(LearnerConfig(max_sampling_steps=5))
+        members = learner.consensus(
+            learner.sample_clusterings(tiny_matrix, seed=5)
+        )
+        trace1, trace2 = WorkTrace(), WorkTrace()
+        net1 = self._run(tiny_matrix, members, trace1)
+        net2 = self._run(tiny_matrix, members, trace2)
+        assert net1 == net2
+        c1, c2 = trace1.kernel_counters, trace2.kernel_counters
+        assert c1.get("evaluations", 0) > 0
+        assert c1.get("store_misses", 0) > 0
+        # The regression: the second identical job re-evaluates nothing.
+        assert c2.get("evaluations", 0) == 0
+        assert c2.get("store_hits", 0) > 0
+        assert c2.get("store_misses", 0) == 0
+
+    def test_store_counters_absent_when_cache_off(self, tiny_matrix):
+        learner = LemonTreeLearner(LearnerConfig(max_sampling_steps=5))
+        members = learner.consensus(
+            learner.sample_clusterings(tiny_matrix, seed=5)
+        )
+        trace = WorkTrace()
+        LemonTreeLearner(
+            LearnerConfig(max_sampling_steps=5)
+        ).learn_from_modules(tiny_matrix, members, seed=5, trace=trace)
+        assert "store_hits" not in trace.kernel_counters
+        assert "store_misses" not in trace.kernel_counters
+
+
+class TestEnsureInstall:
+    def test_ensure_is_first_wins(self):
+        store = ensure_shared_score_cache(1 << 20)
+        again = ensure_shared_score_cache(1 << 30)
+        assert again is store
+        assert shared_score_cache() is store
+
+    def test_set_returns_previous(self):
+        store = SharedScoreCache(max_bytes=1 << 20)
+        assert set_shared_score_cache(store) is None
+        assert set_shared_score_cache(None) is store
